@@ -1,0 +1,137 @@
+// Package repro's top-level benchmarks regenerate each table/figure of the
+// paper's evaluation via the internal/bench harness: one testing.B benchmark
+// per figure. A benchmark iteration runs the complete experiment (all its
+// setups) and reports the figure's headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced series. Workloads run at a reduced scale by default
+// to keep benchmark runs quick; set GVFS_BENCH_SCALE=1 for the paper's full
+// scale (cmd/gvfs-bench does the same with nicer table output).
+package repro_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func benchScale() int {
+	if v := os.Getenv("GVFS_BENCH_SCALE"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 8
+}
+
+func opts() bench.Options { return bench.Options{Scale: benchScale()} }
+
+func secs(d time.Duration) float64 { return d.Seconds() }
+
+// BenchmarkFig4Make regenerates Figure 4: the make benchmark on NFS, GVFS
+// and GVFS-WB in LAN and WAN.
+func BenchmarkFig4Make(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig4(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		byName := map[string]bench.Setup{}
+		for _, s := range res.WAN {
+			byName[s.Name] = s
+		}
+		b.ReportMetric(secs(byName["NFS"].Runtime), "wan-nfs-s")
+		b.ReportMetric(secs(byName["GVFS"].Runtime), "wan-gvfs-s")
+		b.ReportMetric(secs(byName["GVFS-WB"].Runtime), "wan-gvfswb-s")
+		b.ReportMetric(float64(byName["NFS"].RPCs["GETATTR"]), "nfs-getattrs")
+		b.ReportMetric(float64(byName["GVFS"].RPCs["GETATTR"]), "gvfs-getattrs")
+		b.ReportMetric(float64(byName["GVFS"].RPCs["GETINV"]), "gvfs-getinvs")
+	}
+}
+
+// BenchmarkFig5PostMark regenerates Figure 5: PostMark runtime vs RTT for
+// NFS, GVFS1 and GVFS2.
+func BenchmarkFig5PostMark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig5(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.RTT == 40*time.Millisecond || p.RTT == 500*time.Microsecond {
+				name := p.Setup + "@" + p.RTT.String() + "-s"
+				b.ReportMetric(secs(p.Runtime), name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6Lock regenerates Figure 6: the lock contention benchmark
+// across the consistency spectrum.
+func BenchmarkFig6Lock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig6(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Setups {
+			b.ReportMetric(secs(s.Runtime), s.Name+"-s")
+			if s.Name != "AFS" {
+				b.ReportMetric(float64(s.Consistency()), s.Name+"-consistency-rpcs")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7NanoMOS regenerates Figure 7: the shared software repository
+// with an update between iterations 4 and 5.
+func BenchmarkFig7NanoMOS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig7(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for variant, series := range res.Variants {
+			for _, s := range series {
+				if n := len(s.IterRuntimes); n > 2 {
+					b.ReportMetric(secs(s.IterRuntimes[2]), variant+"-"+s.Setup+"-steady-s")
+					b.ReportMetric(secs(s.IterRuntimes[n-1]), variant+"-"+s.Setup+"-final-s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig8CH1D regenerates Figure 8: the producer/consumer pipeline.
+func BenchmarkFig8CH1D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFig8(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			if n := len(s.RunTimes); n > 0 {
+				b.ReportMetric(secs(s.RunTimes[0]), s.Setup+"-first-s")
+				b.ReportMetric(secs(s.RunTimes[n-1]), s.Setup+"-final-s")
+			}
+		}
+	}
+}
+
+// BenchmarkLANOverhead regenerates the Section 5.1.1 measurement: the
+// proxy's interception cost in a 100 Mbps LAN.
+func BenchmarkLANOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunLANOverhead(opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, ov := range res.Overheads() {
+			b.ReportMetric(ov*100, name+"-overhead-pct")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command gvfs-bench regenerates every table and figure of the paper's
+// evaluation (Section 5) on the simulated wide-area testbed and prints the
+// series each figure plots.
+//
+// Usage:
+//
+//	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov] [-scale N] [-q]
+//
+// Scale 1 is the paper's full workload size; larger values shrink the
+// workloads proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate")
+	scale := flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
+	quiet := flag.Bool("q", false, "suppress per-setup progress lines")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp, *scale, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "gvfs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, scale int, quiet bool) error {
+	opt := bench.Options{Scale: scale}
+	if !quiet {
+		opt.Progress = os.Stderr
+	}
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	experiments := []experiment{
+		{"fig4", func() error {
+			r, err := bench.RunFig4(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig5", func() error {
+			r, err := bench.RunFig5(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig6", func() error {
+			r, err := bench.RunFig6(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig7", func() error {
+			r, err := bench.RunFig7(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig8", func() error {
+			r, err := bench.RunFig8(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"lanov", func() error {
+			r, err := bench.RunLANOverhead(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"ablate", func() error {
+			rs, err := bench.RunAblations(opt)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblations(w, rs)
+			return nil
+		}},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if exp != "all" && exp != e.name {
+			continue
+		}
+		ran = true
+		fmt.Fprintf(w, "==== %s ====\n", e.name)
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

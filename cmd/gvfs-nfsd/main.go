@@ -1,0 +1,82 @@
+// Command gvfs-nfsd runs the in-memory NFSv3 server over real TCP: the
+// kernel-NFS-server substitute of the testbed, usable as the upstream of a
+// gvfs-proxyd or directly by gvfs-proxyc in pass-through mode.
+//
+// Usage:
+//
+//	gvfs-nfsd [-listen :2049] [-seed dir]
+//
+// With -seed, the export is pre-populated from a local directory tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/memfs"
+	"repro/internal/nfsserver"
+	"repro/internal/sunrpc"
+	"repro/internal/tcpnet"
+	"repro/internal/vclock"
+)
+
+func main() {
+	listen := flag.String("listen", ":2049", "TCP listen address")
+	seed := flag.String("seed", "", "optional local directory to pre-populate the export from")
+	flag.Parse()
+	if err := run(*listen, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "gvfs-nfsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, seed string) error {
+	clk := vclock.NewReal()
+	mfs := memfs.New(clk.Now)
+	if seed != "" {
+		if err := seedFrom(mfs, seed); err != nil {
+			return fmt.Errorf("seed from %s: %w", seed, err)
+		}
+	}
+	srv := nfsserver.New(mfs, 1)
+	rpcSrv := sunrpc.NewServer(clk)
+	srv.Register(rpcSrv)
+
+	var tn tcpnet.Net
+	l, err := tn.Listen(listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("gvfs-nfsd: exporting in-memory filesystem on %s", l.Addr())
+	rpcSrv.Serve(l)
+	select {} // serve forever
+}
+
+func seedFrom(mfs *memfs.FS, root string) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil || rel == "." {
+			return err
+		}
+		if d.IsDir() {
+			_, err := mfs.MkdirAll(filepath.ToSlash(rel))
+			return err
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		_, err = mfs.WriteFile(filepath.ToSlash(rel), data)
+		return err
+	})
+}

@@ -1,0 +1,87 @@
+// Command gvfs-proxyc runs a GVFS proxy client over real TCP: a kernel NFS
+// client mounts it on the loopback, and it forwards cache misses to a
+// gvfs-proxyd (or straight to an NFS server) while maintaining the session's
+// consistency model.
+//
+// Usage:
+//
+//	gvfs-proxyc [-listen 127.0.0.1:4049] [-cb-listen :4050] \
+//	            [-cb-addr host:4050] [-upstream proxyhost:3049] \
+//	            [-model polling|delegation] [-id client-1] [-writeback]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sunrpc"
+	"repro/internal/tcpnet"
+	"repro/internal/vclock"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4049", "local NFS listen address for the kernel client")
+	cbListen := flag.String("cb-listen", ":4050", "listen address for proxy-server callbacks")
+	cbAddr := flag.String("cb-addr", "", "externally reachable callback address (defaults to cb-listen)")
+	upstream := flag.String("upstream", "localhost:3049", "proxy server (or NFS server) address")
+	model := flag.String("model", "polling", "consistency model: polling or delegation")
+	id := flag.String("id", "client-1", "session client ID")
+	session := flag.String("session", "default", "session key")
+	writeback := flag.Bool("writeback", false, "enable write-back caching")
+	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
+	flag.Parse()
+
+	if err := run(*listen, *cbListen, *cbAddr, *upstream, *model, *id, *session, *writeback, *poll); err != nil {
+		fmt.Fprintln(os.Stderr, "gvfs-proxyc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, cbListen, cbAddr, upstream, model, id, session string, writeback bool, poll time.Duration) error {
+	cfg := core.Config{PollPeriod: poll, WriteBack: writeback}
+	switch model {
+	case "polling":
+		cfg.Model = core.ModelPolling
+	case "delegation":
+		cfg.Model = core.ModelDelegation
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	clk := vclock.NewReal()
+	var tn tcpnet.Net
+	upConn, err := tn.Dial(upstream)
+	if err != nil {
+		return fmt.Errorf("dial upstream %s: %w", upstream, err)
+	}
+
+	if cbAddr == "" {
+		cbAddr = cbListen
+	}
+	cred := core.SessionCred{SessionKey: session, ClientID: id, CallbackAddr: cbAddr}
+	proxy := core.NewProxyClient(clk, cfg, sunrpc.NewClient(clk, upConn, sunrpc.NoneCred()), cred)
+	proxy.SetRedial(func() (*sunrpc.Client, error) {
+		c, err := tn.Dial(upstream)
+		if err != nil {
+			return nil, err
+		}
+		return sunrpc.NewClient(clk, c, sunrpc.NoneCred()), nil
+	})
+
+	nfsL, err := tn.Listen(listen)
+	if err != nil {
+		return err
+	}
+	cbL, err := tn.Listen(cbListen)
+	if err != nil {
+		return err
+	}
+	log.Printf("gvfs-proxyc: %s session %s/%s, NFS on %s, callbacks on %s, upstream %s",
+		cfg.Model, session, id, nfsL.Addr(), cbL.Addr(), upstream)
+	proxy.Serve(nfsL, cbL)
+	select {} // serve forever
+}

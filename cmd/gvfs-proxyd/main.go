@@ -1,0 +1,67 @@
+// Command gvfs-proxyd runs a GVFS proxy server over real TCP: it fronts a
+// kernel NFS server (or gvfs-nfsd) and serves GVFS proxy clients, tracking
+// invalidations and delegations for one session.
+//
+// Usage:
+//
+//	gvfs-proxyd [-listen :3049] [-upstream localhost:2049] [-model polling|delegation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sunrpc"
+	"repro/internal/tcpnet"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+func main() {
+	listen := flag.String("listen", ":3049", "TCP listen address for proxy clients")
+	upstream := flag.String("upstream", "localhost:2049", "address of the NFS server to front")
+	model := flag.String("model", "polling", "consistency model: polling or delegation")
+	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
+	expiry := flag.Duration("deleg-expiry", 10*time.Minute, "delegation expiration period")
+	flag.Parse()
+
+	if err := run(*listen, *upstream, *model, *poll, *expiry); err != nil {
+		fmt.Fprintln(os.Stderr, "gvfs-proxyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, upstream, model string, poll, expiry time.Duration) error {
+	cfg := core.Config{PollPeriod: poll, DelegExpiry: expiry}
+	switch model {
+	case "polling":
+		cfg.Model = core.ModelPolling
+	case "delegation":
+		cfg.Model = core.ModelDelegation
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	clk := vclock.NewReal()
+	var tn tcpnet.Net
+	upConn, err := tn.Dial(upstream)
+	if err != nil {
+		return fmt.Errorf("dial upstream %s: %w", upstream, err)
+	}
+	up := sunrpc.NewClient(clk, upConn, sunrpc.SysCred("gvfs-proxyd", 0, 0))
+
+	dial := func(addr string) (transport.Conn, error) { return tn.Dial(addr) }
+	srv := core.NewProxyServer(clk, cfg, up, dial, &core.MemStateStore{})
+
+	l, err := tn.Listen(listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("gvfs-proxyd: %s session on %s, upstream %s", cfg.Model, l.Addr(), upstream)
+	srv.Serve(l)
+	select {} // serve forever
+}

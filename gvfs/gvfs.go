@@ -1,0 +1,493 @@
+// Package gvfs is the public middleware API of this repository: it plays
+// the role the paper assigns to Grid middleware, dynamically establishing
+// Grid-wide Virtual File System (GVFS) sessions with application-tailored
+// cache consistency over unmodified NFS clients and servers.
+//
+// A Deployment stands up a file server (an in-memory filesystem exported
+// over real NFSv3 messages) and a network — by default a simulated wide
+// area network driven by deterministic virtual time, mirroring the paper's
+// NIST Net testbed (40 ms RTT, 4 Mbps). Sessions are then created per
+// application, each with its own proxy server, and mounted on client hosts
+// through per-session proxy clients with disk caching and the chosen
+// consistency model:
+//
+//	d, _ := gvfs.NewDeployment(gvfs.Config{})
+//	defer d.Close()
+//	d.Run("app", func() {
+//	    sess, _ := d.NewSession("repo", core.Config{Model: core.ModelPolling})
+//	    m, _ := sess.Mount("C1", nfsclient.Options{})
+//	    data, _ := m.Client.ReadFile("dataset/input0")
+//	    ...
+//	})
+//
+// Everything a workload observes — RPC counts by procedure, bytes on each
+// link, virtual runtimes — is exposed for the evaluation harness.
+package gvfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memfs"
+	"repro/internal/nfs3"
+	"repro/internal/nfscall"
+	"repro/internal/nfsclient"
+	"repro/internal/nfsserver"
+	"repro/internal/secure"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes a Deployment.
+type Config struct {
+	// RealTime uses the wall clock instead of virtual time. Virtual time
+	// (the default) makes wide-area experiments deterministic and fast.
+	RealTime bool
+	// WAN is the default link between distinct hosts. Defaults to the
+	// paper's 40 ms RTT / 4 Mbps profile.
+	WAN simnet.Params
+	// ServerHost names the host running the NFS server and proxy servers.
+	// Defaults to "server".
+	ServerHost string
+}
+
+// Deployment is a file server plus a (simulated) network that sessions and
+// mounts are created on.
+type Deployment struct {
+	Clock *vclock.Clock
+	Net   *simnet.Net
+	// FS is the filesystem backing the NFS export; tests and workload
+	// setup may populate it directly (that models local activity on the
+	// server, not wide-area traffic).
+	FS *memfs.FS
+
+	serverHost string
+	nfsAddr    string
+	rpcSrv     *sunrpc.Server
+	nfsSrv     *nfsserver.Server
+
+	mu       sync.Mutex
+	portSeq  int
+	sessions []*Session
+	mounts   []*Mount
+	closed   bool
+}
+
+// NewDeployment builds the server side: filesystem, NFS server, and
+// network. It does not block.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if cfg.ServerHost == "" {
+		cfg.ServerHost = "server"
+	}
+	if cfg.WAN == (simnet.Params{}) {
+		cfg.WAN = simnet.WAN
+	}
+	clk := vclock.NewVirtual()
+	if cfg.RealTime {
+		clk = vclock.NewReal()
+	}
+	net := simnet.New(clk, cfg.WAN)
+	fs := memfs.New(clk.Now)
+	nfsSrv := nfsserver.New(fs, 1)
+	rpcSrv := sunrpc.NewServer(clk)
+	nfsSrv.Register(rpcSrv)
+
+	d := &Deployment{
+		Clock:      clk,
+		Net:        net,
+		FS:         fs,
+		serverHost: cfg.ServerHost,
+		nfsAddr:    cfg.ServerHost + ":2049",
+		rpcSrv:     rpcSrv,
+		nfsSrv:     nfsSrv,
+		portSeq:    5000,
+	}
+	l, err := net.Host(cfg.ServerHost).Listen(":2049")
+	if err != nil {
+		return nil, fmt.Errorf("gvfs: export NFS server: %w", err)
+	}
+	rpcSrv.Serve(l)
+	return d, nil
+}
+
+// Run executes fn as a managed workload actor and waits for it to finish.
+// All session creation, mounting, and file access must happen inside Run
+// (or Go) so the virtual clock can account for blocking.
+func (d *Deployment) Run(name string, fn func()) {
+	done := make(chan struct{})
+	d.Clock.Go(name, func() {
+		defer close(done)
+		fn()
+	})
+	<-done
+}
+
+// Go spawns a concurrent workload actor; join with a Group from NewGroup.
+func (d *Deployment) Go(name string, fn func()) { d.Clock.Go(name, fn) }
+
+// NewGroup returns a clock-aware join point for concurrent workload actors.
+func (d *Deployment) NewGroup() *vclock.Group { return d.Clock.NewGroup() }
+
+// ServerCounts reports NFS RPCs that reached the kernel NFS server, keyed
+// by procedure name — the server-load metric of the paper's evaluation.
+func (d *Deployment) ServerCounts() map[string]int64 {
+	return translateCounts(d.rpcSrv.Counts())
+}
+
+// Close shuts everything down.
+func (d *Deployment) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	sessions := append([]*Session(nil), d.sessions...)
+	mounts := append([]*Mount(nil), d.mounts...)
+	d.mu.Unlock()
+	for _, m := range mounts {
+		m.close()
+	}
+	for _, s := range sessions {
+		s.close()
+	}
+	d.rpcSrv.Close()
+	d.Clock.Stop()
+}
+
+func (d *Deployment) nextPort() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.portSeq++
+	return d.portSeq
+}
+
+// Session is one GVFS session: a dynamically created proxy server bound to
+// a consistency configuration, plus the proxy clients mounted through it.
+type Session struct {
+	Name string
+	Cfg  core.Config
+
+	d     *Deployment
+	addr  string
+	srv   *core.ProxyServer
+	store *core.MemStateStore
+
+	mu      sync.Mutex
+	proxies []*core.ProxyClient
+}
+
+// NewSession creates and configures a session proxy server on the server
+// host. Call within Run/Go.
+func (d *Deployment) NewSession(name string, cfg core.Config) (*Session, error) {
+	host := d.Net.Host(d.serverHost)
+	conn, err := host.Dial(d.nfsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gvfs: session %s: dial NFS server: %w", name, err)
+	}
+	up := sunrpc.NewClient(d.Clock, conn, sunrpc.SysCred(d.serverHost, 0, 0))
+	store := &core.MemStateStore{}
+	dial := core.Dialer(host.Dial)
+	key := secure.KeyFromSession(name)
+	if cfg.Encrypt {
+		// Callback channels to clients are sealed with the session key.
+		dial = func(addr string) (transport.Conn, error) {
+			c, err := host.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			return secure.Client(c, key)
+		}
+	}
+	srv := core.NewProxyServer(d.Clock, cfg, up, dial, store)
+	port := d.nextPort()
+	var l transport.Listener
+	l, err = host.Listen(fmt.Sprintf(":%d", port))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Encrypt {
+		l = secure.NewListener(l, key)
+	}
+	srv.Serve(l)
+	s := &Session{
+		Name:  name,
+		Cfg:   cfg,
+		d:     d,
+		addr:  fmt.Sprintf("%s:%d", d.serverHost, port),
+		srv:   srv,
+		store: store,
+	}
+	d.mu.Lock()
+	d.sessions = append(d.sessions, s)
+	d.mu.Unlock()
+	return s, nil
+}
+
+// ProxyServer exposes the session's proxy server (stats, state size).
+func (s *Session) ProxyServer() *core.ProxyServer { return s.srv }
+
+// Addr returns the proxy server's listen address.
+func (s *Session) Addr() string { return s.addr }
+
+// StateStore returns the session's persistent client-list store, used to
+// model proxy-server restarts.
+func (s *Session) StateStore() *core.MemStateStore { return s.store }
+
+// RestartProxyServer models a proxy-server crash and restart (Section
+// 4.3.4): the old instance dies with its in-memory state; a new one starts
+// on the same address, loads the persisted client list, and reconstructs
+// the session via whole-cache callbacks. Proxy clients reconnect and retry
+// transparently. Call within Run/Go.
+func (s *Session) RestartProxyServer() error {
+	d := s.d
+	s.srv.Stop()
+	host := d.Net.Host(d.serverHost)
+	conn, err := host.Dial(d.nfsAddr)
+	if err != nil {
+		return fmt.Errorf("gvfs: restart session %s: %w", s.Name, err)
+	}
+	up := sunrpc.NewClient(d.Clock, conn, sunrpc.SysCred(d.serverHost, 0, 0))
+	dial := core.Dialer(host.Dial)
+	key := secure.KeyFromSession(s.Name)
+	if s.Cfg.Encrypt {
+		dial = func(addr string) (transport.Conn, error) {
+			c, err := host.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			return secure.Client(c, key)
+		}
+	}
+	srv := core.NewProxyServer(d.Clock, s.Cfg, up, dial, s.store)
+	var l transport.Listener
+	l, err = host.Listen(":" + s.addr[len(d.serverHost)+1:])
+	if err != nil {
+		return err
+	}
+	if s.Cfg.Encrypt {
+		l = secure.NewListener(l, key)
+	}
+	s.srv = srv
+	srv.Serve(l)
+	return nil
+}
+
+// RemountAfterCrash models a client-machine crash: the kernel client's
+// memory caches and the proxy process are gone, but the proxy's disk cache
+// survives. A new proxy client adopts it, runs crash recovery (Section
+// 4.3.4), and a fresh kernel client mounts through it. The returned Mount
+// replaces m. Call within Run/Go.
+func (s *Session) RemountAfterCrash(m *Mount, kopts nfsclient.Options) (*Mount, error) {
+	state := m.Proxy.CacheState()
+	m.Proxy.Crash()
+	m.conn.Close()
+
+	nm, err := s.mountWithCache(m.host, kopts, state)
+	if err != nil {
+		return nil, err
+	}
+	nm.Proxy.RecoverAfterCrash()
+	return nm, nil
+}
+
+func (s *Session) close() {
+	s.mu.Lock()
+	proxies := append([]*core.ProxyClient(nil), s.proxies...)
+	s.mu.Unlock()
+	for _, p := range proxies {
+		p.Stop()
+	}
+	s.srv.Stop()
+}
+
+// Mount is a kernel NFS client attached either through a session proxy
+// client (GVFS) or directly to the NFS server (the paper's NFS baseline).
+type Mount struct {
+	// Client is the emulated kernel NFS client workloads run against.
+	Client *nfsclient.Client
+	// Proxy is the GVFS proxy client, nil for direct mounts.
+	Proxy *core.ProxyClient
+
+	host string
+	conn *nfscall.Conn
+}
+
+// Mount attaches a new client host to the session: it creates a proxy
+// client with the session's cache/consistency configuration, wires the
+// kernel client to it over the host loopback, and mounts the export. Call
+// within Run/Go.
+func (s *Session) Mount(hostname string, kopts nfsclient.Options) (*Mount, error) {
+	return s.mountWithCache(hostname, kopts, nil)
+}
+
+func (s *Session) mountWithCache(hostname string, kopts nfsclient.Options, cache *core.SessionCacheState) (*Mount, error) {
+	d := s.d
+	h := d.Net.Host(hostname)
+
+	upConn, err := h.Dial(s.addr)
+	if err != nil {
+		return nil, fmt.Errorf("gvfs: mount on %s: dial proxy server: %w", hostname, err)
+	}
+	key := secure.KeyFromSession(s.Name)
+	if s.Cfg.Encrypt {
+		if upConn, err = secure.Client(upConn, key); err != nil {
+			return nil, err
+		}
+	}
+	up := sunrpc.NewClient(d.Clock, upConn, sunrpc.NoneCred())
+
+	cbPort := d.nextPort()
+	cred := core.SessionCred{
+		SessionKey:   s.Name,
+		ClientID:     hostname + "/" + s.Name,
+		CallbackAddr: fmt.Sprintf("%s:%d", hostname, cbPort),
+	}
+	proxy := core.NewProxyClient(d.Clock, s.Cfg, up, cred)
+	proxy.AdoptCache(cache)
+	proxy.SetRedial(func() (*sunrpc.Client, error) {
+		c, err := h.Dial(s.addr)
+		if err != nil {
+			return nil, err
+		}
+		var tc transport.Conn = c
+		if s.Cfg.Encrypt {
+			if tc, err = secure.Client(c, key); err != nil {
+				return nil, err
+			}
+		}
+		return sunrpc.NewClient(d.Clock, tc, sunrpc.NoneCred()), nil
+	})
+
+	nfsPort := d.nextPort()
+	nfsL, err := h.Listen(fmt.Sprintf(":%d", nfsPort))
+	if err != nil {
+		return nil, err
+	}
+	var cbL transport.Listener
+	cbL, err = h.Listen(fmt.Sprintf(":%d", cbPort))
+	if err != nil {
+		return nil, err
+	}
+	if s.Cfg.Encrypt {
+		cbL = secure.NewListener(cbL, key)
+	}
+	proxy.Serve(nfsL, cbL)
+
+	m, err := attachKernelClient(d, hostname, fmt.Sprintf("%s:%d", hostname, nfsPort), kopts)
+	if err != nil {
+		return nil, err
+	}
+	m.Proxy = proxy
+
+	s.mu.Lock()
+	s.proxies = append(s.proxies, proxy)
+	s.mu.Unlock()
+	d.mu.Lock()
+	d.mounts = append(d.mounts, m)
+	d.mu.Unlock()
+	return m, nil
+}
+
+// DirectMount attaches a kernel NFS client straight to the NFS server over
+// the wide area: the kernel-NFS baseline of every experiment. Call within
+// Run/Go.
+func (d *Deployment) DirectMount(hostname string, kopts nfsclient.Options) (*Mount, error) {
+	m, err := attachKernelClient(d, hostname, d.nfsAddr, kopts)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.mounts = append(d.mounts, m)
+	d.mu.Unlock()
+	return m, nil
+}
+
+func attachKernelClient(d *Deployment, hostname, addr string, kopts nfsclient.Options) (*Mount, error) {
+	h := d.Net.Host(hostname)
+	conn, err := h.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("gvfs: mount on %s: %w", hostname, err)
+	}
+	rpc := sunrpc.NewClient(d.Clock, conn, sunrpc.SysCred(hostname, 0, 0))
+	nc := nfscall.New(rpc)
+	root, err := nc.Mount("/export")
+	if err != nil {
+		return nil, fmt.Errorf("gvfs: mount on %s: %w", hostname, err)
+	}
+	return &Mount{
+		Client: nfsclient.New(d.Clock, nc, root, kopts),
+		host:   hostname,
+		conn:   nc,
+	}, nil
+}
+
+// Host returns the mount's host name.
+func (m *Mount) Host() string { return m.host }
+
+// WANCounts reports this mount's RPCs that crossed the wide-area link,
+// keyed by procedure name (GETINV appears as its own row). For direct
+// mounts that is every kernel RPC; for GVFS mounts it is only the traffic
+// the proxy could not serve from its disk cache.
+func (m *Mount) WANCounts() map[string]int64 {
+	if m.Proxy != nil {
+		return translateCounts(m.Proxy.UpstreamCounts())
+	}
+	return translateCounts(m.conn.RPC().Counts())
+}
+
+func (m *Mount) close() {
+	m.conn.Close()
+	if m.Proxy != nil {
+		m.Proxy.Stop()
+	}
+}
+
+// translateCounts converts prog<<32|proc keys into readable names.
+func translateCounts(in map[uint64]int64) map[string]int64 {
+	out := make(map[string]int64, len(in))
+	for k, v := range in {
+		prog := uint32(k >> 32)
+		proc := uint32(k)
+		switch prog {
+		case nfs3.Program:
+			out[nfs3.ProcName(proc)] += v
+		case core.InvProgram:
+			out["GETINV"] += v
+		case core.CallbackProgram:
+			out["CALLBACK"] += v
+		case nfs3.MountProgram:
+			out["MOUNT"] += v
+		default:
+			out[fmt.Sprintf("PROG%d.%d", prog, proc)] += v
+		}
+	}
+	return out
+}
+
+// SumConsistency sums the consistency-related calls the paper's figures
+// track: attribute revalidations (GETATTR), name revalidations (LOOKUP),
+// invalidation polls (GETINV) and delegation callbacks (CALLBACK).
+func SumConsistency(counts map[string]int64) int64 {
+	return counts["GETATTR"] + counts["LOOKUP"] + counts["GETINV"] + counts["CALLBACK"]
+}
+
+// SumAll totals every RPC in a count map.
+func SumAll(counts map[string]int64) int64 {
+	var total int64
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// Elapsed is a convenience for timing a workload in the deployment's clock.
+func (d *Deployment) Elapsed(fn func()) time.Duration {
+	start := d.Clock.Now()
+	fn()
+	return d.Clock.Now() - start
+}

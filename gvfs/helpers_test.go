@@ -1,0 +1,84 @@
+package gvfs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfs3"
+)
+
+func TestTranslateCounts(t *testing.T) {
+	in := map[uint64]int64{
+		uint64(nfs3.Program)<<32 | nfs3.ProcGetattr:        10,
+		uint64(nfs3.Program)<<32 | nfs3.ProcLookup:         5,
+		uint64(core.InvProgram)<<32 | core.ProcGetInv:      3,
+		uint64(core.CallbackProgram)<<32 | core.ProcRecall: 2,
+		uint64(nfs3.MountProgram)<<32 | nfs3.MountProcMnt:  1,
+		uint64(123456)<<32 | 7:                             4,
+	}
+	out := translateCounts(in)
+	if out["GETATTR"] != 10 || out["LOOKUP"] != 5 || out["GETINV"] != 3 || out["CALLBACK"] != 2 || out["MOUNT"] != 1 {
+		t.Fatalf("translated = %v", out)
+	}
+	if out["PROG123456.7"] != 4 {
+		t.Fatalf("unknown program row missing: %v", out)
+	}
+	if got := SumAll(out); got != 25 {
+		t.Fatalf("SumAll = %d", got)
+	}
+	if got := SumConsistency(out); got != 20 {
+		t.Fatalf("SumConsistency = %d (GETATTR+LOOKUP+GETINV+CALLBACK)", got)
+	}
+}
+
+func TestElapsedMeasuresVirtualTime(t *testing.T) {
+	d := newDeployment(t)
+	d.Run("test", func() {
+		got := d.Elapsed(func() { d.Clock.Sleep(7 * time.Second) })
+		if got != 7*time.Second {
+			t.Errorf("Elapsed = %v, want 7s", got)
+		}
+	})
+}
+
+func TestServerCountsReflectLoad(t *testing.T) {
+	d := newDeployment(t)
+	d.FS.WriteFile("f", []byte("x"))
+	d.Run("test", func() {
+		m, err := d.DirectMount("C1", kernelNoac())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 5; i++ {
+			m.Client.Stat("f")
+		}
+		counts := d.ServerCounts()
+		if counts["GETATTR"] == 0 && counts["LOOKUP"] == 0 {
+			t.Errorf("server saw no consistency load: %v", counts)
+		}
+	})
+}
+
+func TestSessionAddrAndStores(t *testing.T) {
+	d := newDeployment(t)
+	d.Run("test", func() {
+		sess, err := d.NewSession("meta", core.Config{Model: core.ModelPolling})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if sess.Addr() == "" || sess.ProxyServer() == nil || sess.StateStore() == nil {
+			t.Error("session accessors incomplete")
+		}
+		// The client list persists as mounts join.
+		if _, err := sess.Mount("C1", kernelNoac()); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := sess.StateStore().LoadClients(); len(got) != 1 || got[0].ID != "C1/meta" {
+			t.Errorf("persisted clients = %+v", got)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package afslike
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+type env struct {
+	clk     *vclock.Clock
+	fs      *memfs.FS
+	srv     *Server
+	clients []*Client
+}
+
+func setup(t *testing.T, nclients int) (*env, func()) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	n := simnet.New(clk, simnet.Params{RTT: 40 * time.Millisecond})
+	fs := memfs.New(clk.Now)
+	e := &env{clk: clk, fs: fs}
+	done := make(chan struct{})
+	clk.Go("setup", func() {
+		defer close(done)
+		serverHost := n.Host("server")
+		e.srv = NewServer(clk, fs, serverHost.Dial)
+		l, err := serverHost.Listen(":7000")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		e.srv.Serve(l)
+		for i := 0; i < nclients; i++ {
+			host := n.Host(fmt.Sprintf("C%d", i+1))
+			cbAddr := fmt.Sprintf("C%d:7100", i+1)
+			cbL, err := host.Listen(":7100")
+			if err != nil {
+				t.Errorf("cb listen: %v", err)
+				return
+			}
+			conn, err := host.Dial("server:7000")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			e.clients = append(e.clients, NewClient(clk, conn, cbL, cbAddr))
+		}
+	})
+	<-done
+	if len(e.clients) != nclients {
+		t.Fatal("setup failed")
+	}
+	return e, func() {
+		for _, c := range e.clients {
+			c.Close()
+		}
+		e.srv.Close()
+		clk.Stop()
+	}
+}
+
+func (e *env) run(t *testing.T, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	e.clk.Go("test", func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation hung")
+	}
+}
+
+func TestFetchStoreRoundTrip(t *testing.T) {
+	e, cleanup := setup(t, 1)
+	defer cleanup()
+	c := e.clients[0]
+	e.run(t, func() {
+		data := bytes.Repeat([]byte("afs"), 1000)
+		if err := c.Store("vol/file", data); err != nil {
+			t.Errorf("store: %v", err)
+			return
+		}
+		got, err := c.Fetch("vol/file")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("fetch: %v", err)
+		}
+	})
+}
+
+func TestWholeFileCacheServedLocally(t *testing.T) {
+	e, cleanup := setup(t, 2)
+	defer cleanup()
+	a, b := e.clients[0], e.clients[1]
+	e.run(t, func() {
+		a.Store("f", []byte("cached"))
+		if _, err := b.Fetch("f"); err != nil {
+			t.Errorf("fetch: %v", err)
+			return
+		}
+		// Repeated fetches within the callback promise: no extra latency.
+		start := e.clk.Now()
+		for i := 0; i < 10; i++ {
+			if _, err := b.Fetch("f"); err != nil {
+				t.Errorf("cached fetch: %v", err)
+				return
+			}
+		}
+		if elapsed := e.clk.Now() - start; elapsed > time.Millisecond {
+			t.Errorf("10 cached fetches took %v; whole-file cache not working", elapsed)
+		}
+	})
+}
+
+func TestCallbackBreakInvalidatesCache(t *testing.T) {
+	e, cleanup := setup(t, 2)
+	defer cleanup()
+	a, b := e.clients[0], e.clients[1]
+	e.run(t, func() {
+		a.Store("f", []byte("v1"))
+		if got, _ := b.Fetch("f"); string(got) != "v1" {
+			t.Errorf("fetch = %q", got)
+			return
+		}
+		// A stores a new version; B's cache is broken by callback and the
+		// next fetch is fresh — strong consistency.
+		a.Store("f", []byte("v2"))
+		e.clk.Sleep(100 * time.Millisecond) // callback propagation
+		if got, _ := b.Fetch("f"); string(got) != "v2" {
+			t.Errorf("fetch after break = %q, want v2", got)
+		}
+		if e.srv.Breaks() == 0 {
+			t.Error("no callback breaks recorded")
+		}
+	})
+}
+
+func TestLinkPrimitiveForLocks(t *testing.T) {
+	e, cleanup := setup(t, 2)
+	defer cleanup()
+	a, b := e.clients[0], e.clients[1]
+	e.run(t, func() {
+		a.Store("tmp-a", nil)
+		b.Store("tmp-b", nil)
+		if err := a.Link("tmp-a", "LOCK"); err != nil {
+			t.Errorf("first link: %v", err)
+			return
+		}
+		err := b.Link("tmp-b", "LOCK")
+		if !errors.Is(err, ErrExist) || !b.IsExist(err) {
+			t.Errorf("second link err = %v, want ErrExist", err)
+		}
+		// Existence visible to B (fresh after its failed link).
+		if held, _ := b.Exists("LOCK"); !held {
+			t.Error("b does not see the lock")
+		}
+		if err := a.Remove("LOCK"); err != nil {
+			t.Errorf("remove: %v", err)
+			return
+		}
+		e.clk.Sleep(100 * time.Millisecond)
+		// Strong consistency: B sees the release promptly.
+		if held, _ := b.Exists("LOCK"); held {
+			t.Error("b still sees the removed lock")
+		}
+		if err := b.Link("tmp-b", "LOCK"); err != nil {
+			t.Errorf("relock: %v", err)
+		}
+	})
+}
+
+func TestExistsNegativeNotCachedStale(t *testing.T) {
+	e, cleanup := setup(t, 2)
+	defer cleanup()
+	a, b := e.clients[0], e.clients[1]
+	e.run(t, func() {
+		if held, _ := b.Exists("nope"); held {
+			t.Error("phantom file")
+		}
+		a.Store("nope", []byte("now it exists"))
+		e.clk.Sleep(100 * time.Millisecond)
+		if held, _ := b.Exists("nope"); !held {
+			t.Error("negative result incorrectly cached")
+		}
+	})
+}

@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/gvfs"
+	"repro/internal/core"
+	"repro/internal/nfsclient"
+)
+
+// The ablations quantify the design knobs the paper calls out as tradeoffs:
+// the polling window and its exponential back-off (Section 4.2.1), the
+// per-client invalidation buffer size (Section 4.2.3), and the delegation
+// expiration period (Section 4.3.3).
+
+// AblationRow is one parameter point of an ablation sweep.
+type AblationRow struct {
+	Param     string
+	Staleness time.Duration
+	RPCs      map[string]int64
+	Extra     string
+}
+
+// AblationResult is a named sweep.
+type AblationResult struct {
+	Name    string
+	Columns string
+	Rows    []AblationRow
+}
+
+// RunPollPeriodAblation sweeps the invalidation polling window: shorter
+// windows bound staleness tighter but poll more; exponential back-off gets
+// close to the short window's staleness under churn at a fraction of the
+// idle polls.
+func RunPollPeriodAblation(opt Options) (AblationResult, error) {
+	res := AblationResult{Name: "polling window (Section 4.2.1)", Columns: "staleness observed vs GETINV calls"}
+	type variant struct {
+		name    string
+		period  time.Duration
+		backoff time.Duration
+	}
+	for _, v := range []variant{
+		{"5s fixed", 5 * time.Second, 0},
+		{"30s fixed", 30 * time.Second, 0},
+		{"120s fixed", 120 * time.Second, 0},
+		{"5s..120s backoff", 5 * time.Second, 120 * time.Second},
+	} {
+		row, err := runPollVariant(v.name, v.period, v.backoff)
+		if err != nil {
+			return res, fmt.Errorf("poll ablation %s: %w", v.name, err)
+		}
+		opt.logf("ablate poll %-18s staleness<=%-6v getinv=%d", v.name, row.Staleness, row.RPCs["GETINV"])
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runPollVariant measures how long a reader's view stays stale after a
+// writer's update, and the GETINV cost over a mixed busy/idle timeline.
+func runPollVariant(name string, period, backoff time.Duration) (AblationRow, error) {
+	d, err := gvfs.NewDeployment(gvfs.Config{})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	defer d.Close()
+	d.FS.WriteFile("f", []byte("v0"))
+
+	row := AblationRow{Param: name, RPCs: make(map[string]int64)}
+	var runErr error
+	d.Run("ablate-poll", func() {
+		sess, serr := d.NewSession("s", core.Config{
+			Model: core.ModelPolling, PollPeriod: period, PollBackoffMax: backoff,
+		})
+		if serr != nil {
+			runErr = serr
+			return
+		}
+		reader, err := sess.Mount("C1", nfsclient.Options{NoAC: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		writer, err := sess.Mount("C2", nfsclient.Options{NoAC: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+
+		// Busy phase: ten rounds of write-then-watch. The reader keeps its
+		// cache warm by reading continuously, so after each write it serves
+		// stale data until the next GETINV poll delivers the invalidation —
+		// the staleness the window bounds. Record the worst case.
+		if _, err := reader.Client.ReadFile("f"); err != nil {
+			runErr = err
+			return
+		}
+		version := 0
+		for round := 0; round < 10; round++ {
+			version++
+			want := fmt.Sprintf("v%d", version)
+			if werr := writer.Client.WriteFile("f", []byte(want)); werr != nil {
+				runErr = werr
+				return
+			}
+			start := d.Clock.Now()
+			for {
+				got, err := reader.Client.ReadFile("f")
+				if err != nil {
+					runErr = err
+					return
+				}
+				if string(got) == want {
+					break
+				}
+				d.Clock.Sleep(500 * time.Millisecond)
+			}
+			if stale := d.Clock.Now() - start; stale > row.Staleness {
+				row.Staleness = stale
+			}
+		}
+
+		// Idle phase: half an hour of no updates, polls keep ticking.
+		d.Clock.Sleep(30 * time.Minute)
+		for k, v := range reader.WANCounts() {
+			row.RPCs[k] += v
+		}
+	})
+	return row, runErr
+}
+
+// RunBufferSizeAblation sweeps the invalidation buffer size: undersized
+// buffers wrap around and degrade every poll into a force-invalidation,
+// which costs re-validation traffic afterwards (Section 4.2.3).
+func RunBufferSizeAblation(opt Options) (AblationResult, error) {
+	res := AblationResult{Name: "invalidation buffer size (Section 4.2.3)", Columns: "force-invalidations vs buffer entries"}
+	for _, entries := range []int{4, 16, 64, 1024} {
+		row, err := runBufferVariant(entries)
+		if err != nil {
+			return res, fmt.Errorf("buffer ablation %d: %w", entries, err)
+		}
+		opt.logf("ablate buffer %-5d forced=%s getattr=%d", entries, row.Extra, row.RPCs["GETATTR"])
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runBufferVariant(entries int) (AblationRow, error) {
+	d, err := gvfs.NewDeployment(gvfs.Config{})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	defer d.Close()
+	for i := 0; i < 100; i++ {
+		d.FS.WriteFile(fmt.Sprintf("t/f%03d", i), []byte("x"))
+	}
+
+	row := AblationRow{Param: fmt.Sprintf("%d entries", entries), RPCs: make(map[string]int64)}
+	var runErr error
+	d.Run("ablate-buffer", func() {
+		sess, serr := d.NewSession("s", core.Config{
+			Model: core.ModelPolling, PollPeriod: 30 * time.Second, InvBufferEntries: entries,
+		})
+		if serr != nil {
+			runErr = serr
+			return
+		}
+		reader, err := sess.Mount("C1", nfsclient.Options{NoAC: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		writer, err := sess.Mount("C2", nfsclient.Options{NoAC: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		// Warm the reader on the whole tree.
+		for i := 0; i < 100; i++ {
+			reader.Client.Stat(fmt.Sprintf("t/f%03d", i))
+		}
+		d.Clock.Sleep(31 * time.Second)
+		// Ten rounds: the writer touches 40 files, the reader re-reads 10.
+		for round := 0; round < 10; round++ {
+			for i := 0; i < 40; i++ {
+				writer.Client.WriteFile(fmt.Sprintf("t/f%03d", i), []byte("y"))
+			}
+			d.Clock.Sleep(31 * time.Second)
+			for i := 0; i < 10; i++ {
+				reader.Client.Stat(fmt.Sprintf("t/f%03d", i+60)) // untouched files
+			}
+		}
+		row.Extra = fmt.Sprintf("%d", reader.Proxy.Stats().ForceInvalidations)
+		for k, v := range reader.WANCounts() {
+			row.RPCs[k] += v
+		}
+	})
+	return row, runErr
+}
+
+// RunDelegExpiryAblation sweeps the delegation expiration period: short
+// expirations shed server state quickly but recall delegations from clients
+// that are still interested; long ones accumulate state (Section 4.3.3).
+func RunDelegExpiryAblation(opt Options) (AblationResult, error) {
+	res := AblationResult{Name: "delegation expiration (Section 4.3.3)", Columns: "callbacks + residual state vs expiry"}
+	for _, expiry := range []time.Duration{30 * time.Second, 2 * time.Minute, 10 * time.Minute} {
+		row, err := runExpiryVariant(expiry)
+		if err != nil {
+			return res, fmt.Errorf("expiry ablation %v: %w", expiry, err)
+		}
+		opt.logf("ablate expiry %-6v callbacks=%s state=%s", expiry, row.Extra, row.Columns())
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Columns formats the row's RPC map compactly.
+func (r AblationRow) Columns() string {
+	return fmt.Sprintf("%v", r.RPCs)
+}
+
+func runExpiryVariant(expiry time.Duration) (AblationRow, error) {
+	d, err := gvfs.NewDeployment(gvfs.Config{})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	defer d.Close()
+	for i := 0; i < 50; i++ {
+		d.FS.WriteFile(fmt.Sprintf("w/f%02d", i), []byte("x"))
+	}
+
+	row := AblationRow{Param: expiry.String(), RPCs: make(map[string]int64)}
+	var runErr error
+	d.Run("ablate-expiry", func() {
+		sess, serr := d.NewSession("s", core.Config{
+			Model: core.ModelDelegation, DelegExpiry: expiry,
+		})
+		if serr != nil {
+			runErr = serr
+			return
+		}
+		m, err := sess.Mount("C1", nfsclient.Options{NoAC: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		// A client that touches a rotating subset every minute for 10
+		// minutes: short expirations keep recalling what it still uses.
+		for round := 0; round < 10; round++ {
+			for i := 0; i < 25; i++ {
+				if _, err := m.Client.Stat(fmt.Sprintf("w/f%02d", (round+i)%50)); err != nil {
+					runErr = err
+					return
+				}
+			}
+			d.Clock.Sleep(time.Minute)
+		}
+		files, sharers := sess.ProxyServer().StateSize()
+		row.Extra = fmt.Sprintf("%d", sess.ProxyServer().Stats().CallbacksSent)
+		row.RPCs["state-files"] = int64(files)
+		row.RPCs["state-sharers"] = int64(sharers)
+		row.RPCs["GETATTR"] = m.WANCounts()["GETATTR"]
+	})
+	return row, runErr
+}
+
+// RunAblations executes all three sweeps.
+func RunAblations(opt Options) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, run := range []func(Options) (AblationResult, error){
+		RunPollPeriodAblation,
+		RunBufferSizeAblation,
+		RunDelegExpiryAblation,
+	} {
+		r, err := run(opt)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderAblations prints the sweeps.
+func RenderAblations(w io.Writer, results []AblationResult) {
+	for _, res := range results {
+		fmt.Fprintf(w, "Ablation: %s (%s)\n", res.Name, res.Columns)
+		for _, row := range res.Rows {
+			fmt.Fprintf(w, "  %-20s staleness=%-8v extra=%-8s rpcs=%v\n",
+				row.Param, row.Staleness, row.Extra, row.RPCs)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,132 @@
+// Package bench reproduces every figure of the paper's evaluation (Section
+// 5). Each experiment builds a fresh deployment — six clients and one
+// server on a simulated 40 ms / 4 Mbps wide area network unless stated
+// otherwise — runs the corresponding workload under each setup the paper
+// compares, and reports the same series the figure plots: RPC counts by
+// procedure and application runtimes in virtual time.
+//
+// Absolute numbers depend on the modeled compute times and the simulator,
+// so EXPERIMENTS.md compares shapes (who wins, by what factor, where
+// crossovers fall) rather than absolute values.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/nfsclient"
+)
+
+// Options control experiment size.
+type Options struct {
+	// Scale divides workload sizes for quick runs; 1 (default) is the
+	// paper's full scale.
+	Scale int
+	// Progress, when non-nil, receives one line per completed setup.
+	Progress io.Writer
+}
+
+func (o Options) scale() int {
+	if o.Scale < 1 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// thirty is the 30-second revalidation/invalidation period used throughout
+// the evaluation.
+const thirty = 30 * time.Second
+
+// kernel30 returns the kernel client mount options for the paper's "30 s
+// revalidation period": the Linux attribute cache is adaptive, starting at
+// acregmin (3 s) for objects that keep changing and growing to the 30 s
+// bound for stable ones.
+func kernel30() nfsclient.Options {
+	return nfsclient.Options{AttrMin: 3 * time.Second, AttrMax: thirty}
+}
+
+// kernelNoac returns the noac mount (the "NFS-noac" baseline and the kernel
+// base of strong-consistency GVFS sessions).
+func kernelNoac() nfsclient.Options {
+	return nfsclient.Options{NoAC: true}
+}
+
+// Setup is one bar/line of a figure: a named configuration with its runtime
+// and wide-area RPC counts.
+type Setup struct {
+	Name    string
+	Runtime time.Duration
+	// RPCs are wide-area RPCs by procedure name, summed over all clients.
+	RPCs map[string]int64
+}
+
+// Total sums all RPCs.
+func (s Setup) Total() int64 {
+	var t int64
+	for _, v := range s.RPCs {
+		t += v
+	}
+	return t
+}
+
+// Consistency sums the consistency-related procedures the paper tracks:
+// attribute revalidations, name (re)validations, invalidation polls, and
+// callbacks.
+func (s Setup) Consistency() int64 {
+	return s.RPCs["GETATTR"] + s.RPCs["LOOKUP"] + s.RPCs["GETINV"] + s.RPCs["CALLBACK"]
+}
+
+// addCounts accumulates src into dst.
+func addCounts(dst, src map[string]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// renderRPCTable prints counts for the named procedures across setups.
+func renderRPCTable(w io.Writer, setups []Setup, procs []string) {
+	fmt.Fprintf(w, "%-12s", "RPC")
+	for _, s := range setups {
+		fmt.Fprintf(w, "%12s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, proc := range procs {
+		fmt.Fprintf(w, "%-12s", proc)
+		for _, s := range setups {
+			fmt.Fprintf(w, "%12d", s.RPCs[proc])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-12s", "total")
+	for _, s := range setups {
+		fmt.Fprintf(w, "%12d", s.Total())
+	}
+	fmt.Fprintln(w)
+}
+
+// sortedProcs lists every procedure seen across setups, biggest first by
+// the first setup's counts.
+func sortedProcs(setups []Setup) []string {
+	seen := map[string]bool{}
+	var procs []string
+	for _, s := range setups {
+		for k := range s.RPCs {
+			if !seen[k] && k != "MOUNT" && k != "NULL" {
+				seen[k] = true
+				procs = append(procs, k)
+			}
+		}
+	}
+	sort.Strings(procs)
+	return procs
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }

@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestDiagFig6CB(t *testing.T) {
+	setup, err := runFig6NFS("GVFS-cb", workload.LockConfig{Acquisitions: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("runtime=%v consistency=%d rpcs=%v", setup.Runtime, setup.Consistency(), setup.RPCs)
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// LANOverheadResult reproduces the Section 5.1.1 measurement of GVFS's
+// user-level interception cost: the make benchmark in a 100 Mbps LAN, where
+// the paper reports GVFS adds only 4% (read-only caching) and 8%
+// (write-back) over kernel NFS.
+type LANOverheadResult struct {
+	Setups []Setup
+}
+
+// RunLANOverhead runs the three LAN configurations.
+func RunLANOverhead(opt Options) (LANOverheadResult, error) {
+	var res LANOverheadResult
+	cfg := workload.MakeConfig{}
+	if s := opt.scale(); s > 1 {
+		cfg = workload.MakeConfig{
+			Sources: max(357/s, 10), Headers: max(103/s, 5), Objects: max(168/s, 4),
+		}
+	}
+	for _, mode := range []string{"NFS", "GVFS", "GVFS-WB"} {
+		setup, _, err := runFig4Setup(simnet.LAN, mode, cfg)
+		if err != nil {
+			return res, fmt.Errorf("lan overhead %s: %w", mode, err)
+		}
+		opt.logf("lanov %-8s runtime=%6.1fs", mode, seconds(setup.Runtime))
+		res.Setups = append(res.Setups, setup)
+	}
+	return res, nil
+}
+
+// Overheads returns the relative slowdown of each GVFS setup vs NFS.
+func (r LANOverheadResult) Overheads() map[string]float64 {
+	out := make(map[string]float64)
+	if len(r.Setups) == 0 || r.Setups[0].Runtime == 0 {
+		return out
+	}
+	base := r.Setups[0].Runtime.Seconds()
+	for _, s := range r.Setups[1:] {
+		out[s.Name] = s.Runtime.Seconds()/base - 1
+	}
+	return out
+}
+
+// Render prints the overhead table.
+func (r LANOverheadResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Section 5.1.1: proxy overhead in 100 Mbps LAN (make benchmark)")
+	fmt.Fprintf(w, "%-10s%12s%12s\n", "setup", "runtime", "overhead")
+	ov := r.Overheads()
+	for _, s := range r.Setups {
+		fmt.Fprintf(w, "%-10s%12.1f", s.Name, seconds(s.Runtime))
+		if s.Name == "NFS" {
+			fmt.Fprintf(w, "%12s\n", "-")
+		} else {
+			fmt.Fprintf(w, "%11.1f%%\n", ov[s.Name]*100)
+		}
+	}
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/nfs3"
+)
+
+// sessionCache is the GVFS per-session client-side disk cache: file
+// attributes, directory lookup results, and data blocks, plus dirty-block
+// state for write-back sessions. Unlike the kernel client's caches, entries
+// carry no timeout — their validity is governed entirely by the session's
+// consistency protocol (invalidation polling or delegation callbacks), which
+// is the heart of the paper's design.
+type sessionCache struct {
+	bs int
+
+	mu       sync.Mutex
+	attrs    map[string]nfs3.Fattr  // FH key -> attributes (validity = presence)
+	lookups  map[string]lookupEnt   // dir key + "\x00" + name -> child handle
+	files    map[string]*cachedFile // FH key -> data blocks
+	listings map[string]dirListing  // dir key -> complete directory listing
+	lru      *lruList
+	maxB     int64
+}
+
+// dirListing caches a complete (single-page) READDIR result, tagged like
+// negative lookups with the directory mtime it was observed under.
+type dirListing struct {
+	entries  []nfs3.DirEntry
+	dirMtime nfs3.Time
+}
+
+type lookupEnt struct {
+	fh nfs3.FH
+	// negative records a NOENT result: the name is known not to exist.
+	negative bool
+	// dirMtime tags the entry with the directory modification time it was
+	// observed under; the entry is only valid while the cached directory
+	// attributes still carry that mtime, so a directory invalidation
+	// followed by revalidation of a *changed* directory cannot revive
+	// stale name resolutions.
+	dirMtime nfs3.Time
+}
+
+type cachedFile struct {
+	// mtime is the server mtime the clean blocks correspond to.
+	mtime nfs3.Time
+	size  uint64
+	// localChange > 0 while dirty data is buffered; it perturbs the mtime
+	// served to the kernel client so local writes remain visible.
+	localChange uint32
+	blocks      map[uint64][]byte
+	dirty       map[uint64]bool
+}
+
+func newSessionCache(blockSize int, maxBytes int64) *sessionCache {
+	return &sessionCache{
+		bs:       blockSize,
+		attrs:    make(map[string]nfs3.Fattr),
+		lookups:  make(map[string]lookupEnt),
+		files:    make(map[string]*cachedFile),
+		listings: make(map[string]dirListing),
+		lru:      newLRUList(),
+		maxB:     maxBytes,
+	}
+}
+
+// --- attributes ---------------------------------------------------------
+
+// getAttr returns the cached attributes for fh, if valid. When the file has
+// buffered dirty data, the returned attributes are adjusted (size, perturbed
+// mtime) so the caller observes its own writes.
+func (sc *sessionCache) getAttr(fh nfs3.FH) (nfs3.Fattr, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	a, ok := sc.attrs[fh.Key()]
+	if !ok {
+		return nfs3.Fattr{}, false
+	}
+	return sc.adjustLocked(fh.Key(), a), true
+}
+
+func (sc *sessionCache) adjustLocked(key string, a nfs3.Fattr) nfs3.Fattr {
+	if fc, ok := sc.files[key]; ok && fc.localChange > 0 {
+		a.Size = fc.size
+		a.Mtime.Nsec += fc.localChange
+	}
+	return a
+}
+
+// putAttr installs server-observed attributes, reconciling the data cache:
+// a changed mtime drops clean blocks.
+func (sc *sessionCache) putAttr(fh nfs3.FH, a nfs3.Fattr) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	key := fh.Key()
+	if fc, ok := sc.files[key]; ok {
+		if fc.mtime != a.Mtime {
+			sc.dropCleanLocked(key, fc)
+			fc.mtime = a.Mtime
+			if fc.localChange == 0 {
+				fc.size = a.Size
+			} else if a.Size > fc.size {
+				fc.size = a.Size
+			}
+		} else if fc.localChange == 0 {
+			fc.size = a.Size
+		}
+	}
+	sc.attrs[key] = a
+}
+
+// invalidateAttr drops the attribute entry for fh, forcing revalidation on
+// next access. Data blocks are kept; they are reconciled against the next
+// server-observed attributes.
+func (sc *sessionCache) invalidateAttr(fh nfs3.FH) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	delete(sc.attrs, fh.Key())
+}
+
+// invalidateAllAttrs implements the force-invalidate flag: the entire
+// attribute (and lookup) cache is dropped.
+func (sc *sessionCache) invalidateAllAttrs() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.attrs = make(map[string]nfs3.Fattr)
+	sc.lookups = make(map[string]lookupEnt)
+	sc.listings = make(map[string]dirListing)
+}
+
+// forget removes every trace of fh (REMOVE, stale handle).
+func (sc *sessionCache) forget(fh nfs3.FH) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	key := fh.Key()
+	delete(sc.attrs, key)
+	if fc, ok := sc.files[key]; ok {
+		sc.dropCleanLocked(key, fc)
+		delete(sc.files, key)
+	}
+}
+
+// --- lookup cache -------------------------------------------------------
+
+func cacheLookupKey(dir nfs3.FH, name string) string { return dir.Key() + "\x00" + name }
+
+// getLookup returns a cached name resolution (possibly negative); it is
+// only valid while the directory's attributes are validly cached.
+//
+// Positive bindings additionally require the caller to hold valid cached
+// attributes for the child (checked at the serving site): per-file
+// invalidations cover every way a binding can break (REMOVE and RENAME
+// invalidate the victim's handle), so a directory mtime change alone —
+// e.g. an unrelated file created next to it — does not force re-lookups of
+// every name. Negative entries have no child to validate, so they are
+// additionally tagged with the directory mtime they were observed under and
+// die on any directory change.
+func (sc *sessionCache) getLookup(dir nfs3.FH, name string) (fh nfs3.FH, negative, ok bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	dirAttr, dirValid := sc.attrs[dir.Key()]
+	if !dirValid {
+		return nfs3.FH{}, false, false
+	}
+	ent, ok := sc.lookups[cacheLookupKey(dir, name)]
+	if !ok {
+		return nfs3.FH{}, false, false
+	}
+	if ent.negative && ent.dirMtime != dirAttr.Mtime {
+		return nfs3.FH{}, false, false
+	}
+	return ent.fh, ent.negative, true
+}
+
+// putLookup caches a resolution; fh zero with negative set records NOENT.
+// The entry is skipped if the directory's attributes are not cached (there
+// is nothing to validate it against).
+func (sc *sessionCache) putLookup(dir nfs3.FH, name string, fh nfs3.FH) {
+	sc.putLookupEnt(dir, name, fh, false)
+}
+
+func (sc *sessionCache) putNegLookup(dir nfs3.FH, name string) {
+	sc.putLookupEnt(dir, name, nfs3.FH{}, true)
+}
+
+func (sc *sessionCache) putLookupEnt(dir nfs3.FH, name string, fh nfs3.FH, negative bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	dirAttr, dirValid := sc.attrs[dir.Key()]
+	if !dirValid {
+		return
+	}
+	sc.lookups[cacheLookupKey(dir, name)] = lookupEnt{fh: fh, negative: negative, dirMtime: dirAttr.Mtime}
+}
+
+// putDirListing caches a complete directory listing observed alongside the
+// currently cached directory attributes.
+func (sc *sessionCache) putDirListing(dir nfs3.FH, entries []nfs3.DirEntry) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	dirAttr, ok := sc.attrs[dir.Key()]
+	if !ok {
+		return
+	}
+	cp := make([]nfs3.DirEntry, len(entries))
+	copy(cp, entries)
+	sc.listings[dir.Key()] = dirListing{entries: cp, dirMtime: dirAttr.Mtime}
+}
+
+// getDirListing returns the cached complete listing if it is still coherent
+// with the cached directory attributes.
+func (sc *sessionCache) getDirListing(dir nfs3.FH) ([]nfs3.DirEntry, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	dirAttr, ok := sc.attrs[dir.Key()]
+	if !ok {
+		return nil, false
+	}
+	l, ok := sc.listings[dir.Key()]
+	if !ok || l.dirMtime != dirAttr.Mtime {
+		return nil, false
+	}
+	return l.entries, true
+}
+
+func (sc *sessionCache) dropLookup(dir nfs3.FH, name string) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	delete(sc.lookups, cacheLookupKey(dir, name))
+}
+
+// --- data blocks ----------------------------------------------------------
+
+func (sc *sessionCache) fileFor(key string) *cachedFile {
+	fc, ok := sc.files[key]
+	if !ok {
+		fc = &cachedFile{blocks: make(map[uint64][]byte), dirty: make(map[uint64]bool)}
+		sc.files[key] = fc
+	}
+	return fc
+}
+
+// getBlock returns the cached block, and whether it was present.
+func (sc *sessionCache) getBlock(fh nfs3.FH, bn uint64) ([]byte, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, ok := sc.files[fh.Key()]
+	if !ok {
+		return nil, false
+	}
+	b, ok := fc.blocks[bn]
+	if ok && !fc.dirty[bn] {
+		sc.lru.touch(fh.Key(), bn)
+	}
+	return b, ok
+}
+
+// putCleanBlock caches data fetched from the server for (fh, bn), tagged
+// with the server attributes observed alongside it.
+func (sc *sessionCache) putCleanBlock(fh nfs3.FH, bn uint64, data []byte, attr nfs3.Fattr) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	key := fh.Key()
+	fc := sc.fileFor(key)
+	if fc.mtime != attr.Mtime {
+		sc.dropCleanLocked(key, fc)
+		fc.mtime = attr.Mtime
+		if fc.localChange == 0 {
+			fc.size = attr.Size
+		}
+	}
+	if fc.dirty[bn] {
+		return // never overwrite dirty data with server state
+	}
+	block := make([]byte, sc.bs)
+	copy(block, data)
+	if _, existed := fc.blocks[bn]; !existed {
+		sc.lru.add(key, bn, sc.bs)
+	}
+	fc.blocks[bn] = block
+	sc.evictLocked()
+}
+
+// updateAfterWrite reconciles the cache with a forwarded WRITE's reply,
+// using the weak-cache-consistency data to recognize our own modification:
+// when the pre-op mtime matches the cached one, the mtime advance is ours
+// and cached blocks stay valid.
+func (sc *sessionCache) updateAfterWrite(fh nfs3.FH, wcc nfs3.WccData) {
+	if !wcc.After.Present {
+		return
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	key := fh.Key()
+	after := wcc.After.Attr
+	if fc, ok := sc.files[key]; ok {
+		ours := wcc.Before.Present && wcc.Before.Attr.Mtime == fc.mtime
+		if !ours && fc.mtime != after.Mtime {
+			sc.dropCleanLocked(key, fc)
+		}
+		fc.mtime = after.Mtime
+		if fc.localChange == 0 {
+			fc.size = after.Size
+		} else if after.Size > fc.size {
+			fc.size = after.Size
+		}
+	}
+	sc.attrs[key] = after
+}
+
+// writeDirty buffers a write locally (write-back / write delegation),
+// returning the resulting file size.
+func (sc *sessionCache) writeDirty(fh nfs3.FH, off uint64, data []byte) uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	key := fh.Key()
+	fc := sc.fileFor(key)
+	bs := uint64(sc.bs)
+	for n := 0; n < len(data); {
+		pos := off + uint64(n)
+		bn := pos / bs
+		bo := pos % bs
+		chunk := int(bs - bo)
+		if rem := len(data) - n; chunk > rem {
+			chunk = rem
+		}
+		block, ok := fc.blocks[bn]
+		if !ok {
+			block = make([]byte, bs)
+			fc.blocks[bn] = block
+		} else if !fc.dirty[bn] {
+			sc.lru.remove(key, bn)
+		}
+		fc.dirty[bn] = true
+		copy(block[bo:], data[n:n+chunk])
+		n += chunk
+	}
+	if end := off + uint64(len(data)); end > fc.size {
+		fc.size = end
+	}
+	fc.localChange++
+	return fc.size
+}
+
+// dirtyBlocks returns the sorted dirty block numbers of fh.
+func (sc *sessionCache) dirtyBlocks(fh nfs3.FH) []uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, ok := sc.files[fh.Key()]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, 0, len(fc.dirty))
+	for bn := range fc.dirty {
+		out = append(out, bn)
+	}
+	sortUint64(out)
+	return out
+}
+
+// dirtyFiles lists handles with buffered dirty data. The handles are
+// reconstructed from map keys.
+func (sc *sessionCache) dirtyFiles() []nfs3.FH {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var out []nfs3.FH
+	for key, fc := range sc.files {
+		if len(fc.dirty) > 0 {
+			if fh, err := nfs3.FHFromBytes([]byte(key)); err == nil {
+				out = append(out, fh)
+			}
+		}
+	}
+	return out
+}
+
+// takeDirty extracts one dirty block for flushing: its data (bounded by the
+// file size) and start offset. ok is false when bn is no longer dirty.
+func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint64, ok bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, exists := sc.files[fh.Key()]
+	if !exists || !fc.dirty[bn] {
+		return nil, 0, false
+	}
+	block := fc.blocks[bn]
+	bs := uint64(sc.bs)
+	off = bn * bs
+	count := bs
+	if off+count > fc.size {
+		if off >= fc.size {
+			// Block wholly beyond a truncation; drop it.
+			delete(fc.dirty, bn)
+			delete(fc.blocks, bn)
+			return nil, 0, false
+		}
+		count = fc.size - off
+	}
+	data = make([]byte, count)
+	copy(data, block[:count])
+	return data, off, true
+}
+
+// flushed marks a dirty block clean after its WRITE succeeded, adopting the
+// server's post-write attributes.
+func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, after nfs3.PostOpAttr) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	key := fh.Key()
+	fc, exists := sc.files[key]
+	if !exists {
+		return
+	}
+	if fc.dirty[bn] {
+		delete(fc.dirty, bn)
+		sc.lru.add(key, bn, sc.bs)
+	}
+	if after.Present {
+		fc.mtime = after.Attr.Mtime
+		if len(fc.dirty) == 0 {
+			fc.localChange = 0
+			fc.size = after.Attr.Size
+		}
+		sc.attrs[key] = after.Attr
+	}
+	sc.evictLocked()
+}
+
+// hasDirty reports whether fh has buffered dirty blocks.
+func (sc *sessionCache) hasDirty(fh nfs3.FH) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, ok := sc.files[fh.Key()]
+	return ok && len(fc.dirty) > 0
+}
+
+// dropDirty abandons dirty data (file removed, or corruption detected after
+// crash recovery per Section 4.3.4).
+func (sc *sessionCache) dropDirty(fh nfs3.FH) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, ok := sc.files[fh.Key()]
+	if !ok {
+		return
+	}
+	for bn := range fc.dirty {
+		delete(fc.dirty, bn)
+		delete(fc.blocks, bn)
+	}
+	fc.localChange = 0
+}
+
+func (sc *sessionCache) dropCleanLocked(key string, fc *cachedFile) {
+	for bn := range fc.blocks {
+		if !fc.dirty[bn] {
+			sc.lru.remove(key, bn)
+			delete(fc.blocks, bn)
+		}
+	}
+}
+
+func (sc *sessionCache) evictLocked() {
+	for sc.lru.bytes > sc.maxB {
+		key, bn, ok := sc.lru.evict()
+		if !ok {
+			return
+		}
+		if fc, exists := sc.files[key]; exists {
+			delete(fc.blocks, bn)
+		}
+	}
+}
+
+// stats snapshot for instrumentation.
+type cacheStats struct {
+	Attrs   int
+	Lookups int
+	Files   int
+	Bytes   int64
+}
+
+func (sc *sessionCache) stats() cacheStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return cacheStats{Attrs: len(sc.attrs), Lookups: len(sc.lookups), Files: len(sc.files), Bytes: sc.lru.bytes}
+}
+
+// --- byte-bounded LRU over clean blocks ----------------------------------
+
+type lruList struct {
+	order *list.List
+	index map[lruKey]*list.Element
+	bytes int64
+}
+
+type lruKey struct {
+	file  string
+	block uint64
+}
+
+type lruRef struct {
+	key  lruKey
+	size int
+}
+
+func newLRUList() *lruList {
+	return &lruList{order: list.New(), index: make(map[lruKey]*list.Element)}
+}
+
+func (l *lruList) add(file string, block uint64, size int) {
+	k := lruKey{file, block}
+	if el, ok := l.index[k]; ok {
+		l.order.MoveToFront(el)
+		return
+	}
+	l.index[k] = l.order.PushFront(&lruRef{key: k, size: size})
+	l.bytes += int64(size)
+}
+
+func (l *lruList) touch(file string, block uint64) {
+	if el, ok := l.index[lruKey{file, block}]; ok {
+		l.order.MoveToFront(el)
+	}
+}
+
+func (l *lruList) remove(file string, block uint64) {
+	k := lruKey{file, block}
+	if el, ok := l.index[k]; ok {
+		l.bytes -= int64(el.Value.(*lruRef).size)
+		l.order.Remove(el)
+		delete(l.index, k)
+	}
+}
+
+func (l *lruList) evict() (file string, block uint64, ok bool) {
+	el := l.order.Back()
+	if el == nil {
+		return "", 0, false
+	}
+	ref := el.Value.(*lruRef)
+	l.order.Remove(el)
+	delete(l.index, ref.key)
+	l.bytes -= int64(ref.size)
+	return ref.key.file, ref.key.block, true
+}
+
+func sortUint64(s []uint64) {
+	// Insertion sort: dirty lists are small and often nearly sorted.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

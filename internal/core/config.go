@@ -1,0 +1,155 @@
+package core
+
+import "time"
+
+// Model selects a GVFS session's cache consistency protocol.
+type Model int
+
+// Consistency models (Section 4).
+const (
+	// ModelPolling is the relaxed model based on invalidation polling
+	// (Section 4.2).
+	ModelPolling Model = iota + 1
+	// ModelDelegation is the strong model based on delegation and callback
+	// (Section 4.3).
+	ModelDelegation
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelPolling:
+		return "invalidation-polling"
+	case ModelDelegation:
+		return "delegation-callback"
+	default:
+		return "unknown"
+	}
+}
+
+// Config carries the per-session, application-tailored parameters middleware
+// chooses when it establishes a GVFS session. Zero values take the defaults
+// documented on each field.
+type Config struct {
+	// Model selects the consistency protocol. Default ModelPolling.
+	Model Model
+
+	// WriteBack enables write-back caching at the proxy client: WRITEs are
+	// buffered in the disk cache and flushed lazily (GVFS-WB in Figure 4;
+	// implied by a write delegation under ModelDelegation).
+	WriteBack bool
+
+	// PollPeriod is the invalidation polling window (Section 4.2.1).
+	// Default 30 s, the "typical period" of the evaluation.
+	PollPeriod time.Duration
+	// PollBackoffMax, when nonzero, enables the exponential back-off
+	// policy: idle polls double the window from PollPeriod up to this
+	// bound; any received invalidation resets it.
+	PollBackoffMax time.Duration
+	// InvBufferEntries sizes each per-client circular invalidation buffer.
+	// Overflow triggers force-invalidation. Default 1024.
+	InvBufferEntries int
+	// MaxHandlesPerReply bounds one GETINV reply; larger buffers set the
+	// poll-again flag. Default 256.
+	MaxHandlesPerReply int
+
+	// DelegExpiry is how long after its last access a file is speculated
+	// closed by a client (Section 4.3.3). Default 10 minutes.
+	DelegExpiry time.Duration
+	// DelegRenew is the proxy client's delegation renewal period: cached
+	// requests bypass the cache this often to refresh the server's access
+	// time. Must be below DelegExpiry. Default 8 minutes.
+	DelegRenew time.Duration
+	// DirtyListThreshold is the number of dirty blocks above which a write
+	// recall answers with a pending-block list instead of flushing inline
+	// (Section 4.3.2's optimization). Default 1024 ("more than 1k blocks").
+	DirtyListThreshold int
+	// MaxOpenFiles caps the proxy server's open-file table; beyond it the
+	// server proactively recalls the least recently accessed entries
+	// (Section 4.3.3). Default 65536.
+	MaxOpenFiles int
+
+	// BlockSize is the disk cache block size. Default 32 KiB, matching the
+	// evaluation's transfer size.
+	BlockSize int
+	// CacheBytes bounds the client disk cache. Default 4 GiB.
+	CacheBytes int64
+
+	// ProxyDelay models the user-level interception and cache-management
+	// cost a proxy adds to each RPC it handles (the 4-8% LAN overhead of
+	// Section 5.1.1). Applied at both proxy client and proxy server.
+	// Default 0.
+	ProxyDelay time.Duration
+
+	// DiskDelay models the proxy client's disk-cache block access time: the
+	// paper's caches live on disk, so serving a data block locally or
+	// buffering a dirty block is not free — it costs roughly a disk access,
+	// which is exactly why kernel NFS wins at LAN latencies (Figure 5's
+	// crossover). Applied per data block served from or written to the
+	// cache. Default 0 (in-memory cache).
+	DiskDelay time.Duration
+
+	// FlushInterval is the background write-back flush period. Default 30 s.
+	FlushInterval time.Duration
+
+	// CallTimeout bounds upstream and callback RPCs so crashes and
+	// partitions surface as retriable timeouts. Default 15 s.
+	CallTimeout time.Duration
+
+	// UIDMap and GIDMap translate the client domain's numeric identities
+	// into the server domain's before requests cross the wide area — the
+	// cross-domain identity mapping the paper's middleware performs.
+	// Unmapped identities pass through unchanged. Applied by the proxy
+	// client to the settable attributes of CREATE/MKDIR/SYMLINK/SETATTR.
+	UIDMap map[uint32]uint32
+	GIDMap map[uint32]uint32
+
+	// Encrypt seals the session's wide-area channels (proxy client <->
+	// proxy server, including callbacks) with AES-GCM keyed from the
+	// session key — the per-session private channel the paper's middleware
+	// provides. Applied at the transport layer by the middleware (the gvfs
+	// package); loopback traffic stays plain.
+	Encrypt bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == 0 {
+		c.Model = ModelPolling
+	}
+	if c.PollPeriod == 0 {
+		c.PollPeriod = 30 * time.Second
+	}
+	if c.InvBufferEntries == 0 {
+		c.InvBufferEntries = 1024
+	}
+	if c.MaxHandlesPerReply == 0 {
+		c.MaxHandlesPerReply = 256
+	}
+	if c.DelegExpiry == 0 {
+		c.DelegExpiry = 10 * time.Minute
+	}
+	if c.DelegRenew == 0 {
+		c.DelegRenew = 8 * time.Minute
+	}
+	if c.DelegRenew >= c.DelegExpiry {
+		c.DelegRenew = c.DelegExpiry * 4 / 5
+	}
+	if c.DirtyListThreshold == 0 {
+		c.DirtyListThreshold = 1024
+	}
+	if c.MaxOpenFiles == 0 {
+		c.MaxOpenFiles = 65536
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 32 * 1024
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 4 << 30
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 30 * time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 15 * time.Second
+	}
+	return c
+}

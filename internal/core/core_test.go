@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nfs3"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+func fhN(n uint64) nfs3.FH { return nfs3.MakeFH(1, n) }
+
+func TestSessionCredRoundTrip(t *testing.T) {
+	in := SessionCred{SessionKey: "sess-42", ClientID: "C3/sess-42", CallbackAddr: "C3:5007"}
+	cred := in.Encode()
+	if cred.Flavor != sunrpc.AuthGVFS {
+		t.Fatalf("flavor = %d", cred.Flavor)
+	}
+	out, err := DecodeSessionCred(cred)
+	if err != nil || out != in {
+		t.Fatalf("round trip = %+v, %v", out, err)
+	}
+	if _, err := DecodeSessionCred(sunrpc.NoneCred()); err == nil {
+		t.Fatal("AUTH_NONE decoded as session cred")
+	}
+}
+
+func TestGetInvMessagesRoundTrip(t *testing.T) {
+	args := GetInvArgs{Timestamp: 77, MaxHandles: 256}
+	e := xdr.NewEncoder()
+	args.Encode(e)
+	var gotArgs GetInvArgs
+	if err := gotArgs.Decode(xdr.NewDecoder(e.Bytes())); err != nil || gotArgs != args {
+		t.Fatalf("args round trip: %+v, %v", gotArgs, err)
+	}
+
+	res := GetInvRes{Timestamp: 99, ForceInvalidate: true, PollAgain: true, Handles: []nfs3.FH{fhN(1), fhN(2)}}
+	e = xdr.NewEncoder()
+	res.Encode(e)
+	var gotRes GetInvRes
+	if err := gotRes.Decode(xdr.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Timestamp != 99 || !gotRes.ForceInvalidate || !gotRes.PollAgain || len(gotRes.Handles) != 2 {
+		t.Fatalf("res round trip: %+v", gotRes)
+	}
+	if !gotRes.Handles[0].Equal(fhN(1)) || !gotRes.Handles[1].Equal(fhN(2)) {
+		t.Fatal("handles corrupted")
+	}
+}
+
+func TestTrailersRoundTrip(t *testing.T) {
+	ts := Trailers{
+		{Deleg: DelegRead, Cacheable: true, FH: fhN(3)},
+		{Deleg: DelegWrite, Cacheable: true, FH: fhN(4)},
+		{Deleg: DelegNone, Cacheable: false, FH: fhN(5)},
+	}
+	e := xdr.NewEncoder()
+	ts.Encode(e)
+	got, err := DecodeTrailers(xdr.NewDecoder(e.Bytes()))
+	if err != nil || len(got) != 3 {
+		t.Fatalf("decode: %v, %d trailers", err, len(got))
+	}
+	for i := range ts {
+		if got[i].Deleg != ts[i].Deleg || got[i].Cacheable != ts[i].Cacheable || !got[i].FH.Equal(ts[i].FH) {
+			t.Fatalf("trailer %d mismatch: %+v vs %+v", i, got[i], ts[i])
+		}
+	}
+	// A reply from a plain NFS server has no trailer bytes at all; the
+	// caller handles that by checking Remaining, but an absurd count must
+	// be rejected.
+	e = xdr.NewEncoder()
+	e.Uint32(1000)
+	if _, err := DecodeTrailers(xdr.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("absurd trailer count accepted")
+	}
+}
+
+func TestRecallMessagesRoundTrip(t *testing.T) {
+	args := RecallArgs{FH: fhN(9), Deleg: DelegWrite, HasOffset: true, Offset: 65536}
+	e := xdr.NewEncoder()
+	args.Encode(e)
+	var gotArgs RecallArgs
+	if err := gotArgs.Decode(xdr.NewDecoder(e.Bytes())); err != nil || gotArgs != args {
+		t.Fatalf("recall args: %+v, %v", gotArgs, err)
+	}
+
+	res := RecallRes{Status: nfs3.OK, Pending: []uint64{0, 32768, 65536}}
+	e = xdr.NewEncoder()
+	res.Encode(e)
+	var gotRes RecallRes
+	if err := gotRes.Decode(xdr.NewDecoder(e.Bytes())); err != nil || len(gotRes.Pending) != 3 {
+		t.Fatalf("recall res: %+v, %v", gotRes, err)
+	}
+
+	all := RecallAllRes{DirtyFiles: []nfs3.FH{fhN(1)}}
+	e = xdr.NewEncoder()
+	all.Encode(e)
+	var gotAll RecallAllRes
+	if err := gotAll.Decode(xdr.NewDecoder(e.Bytes())); err != nil || len(gotAll.DirtyFiles) != 1 {
+		t.Fatalf("recall-all res: %+v, %v", gotAll, err)
+	}
+}
+
+// --- invalidation buffer (Section 4.2) -------------------------------------
+
+func TestInvBufferCoalescesDuplicates(t *testing.T) {
+	b := newInvBuffer(10)
+	b.add("a")
+	b.add("b")
+	b.add("a") // coalesce: moves to the back
+	if len(b.order) != 2 {
+		t.Fatalf("order = %v, want 2 entries", b.order)
+	}
+	if b.order[0] != "b" || b.order[1] != "a" {
+		t.Fatalf("coalesced order = %v, want [b a]", b.order)
+	}
+}
+
+func TestInvBufferWrapsAndFlagsOverflow(t *testing.T) {
+	b := newInvBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.add(fmt.Sprintf("f%d", i))
+	}
+	if !b.overflowed {
+		t.Fatal("overflow not flagged")
+	}
+	if len(b.order) != 3 {
+		t.Fatalf("buffer holds %d entries, cap 3", len(b.order))
+	}
+	if b.order[0] != "f2" {
+		t.Fatalf("oldest surviving entry = %s, want f2", b.order[0])
+	}
+	b.flush()
+	if b.overflowed || len(b.order) != 0 || len(b.member) != 0 {
+		t.Fatal("flush did not reset state")
+	}
+}
+
+func TestInvBufferPropertyMembershipMatchesOrder(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := newInvBuffer(8)
+		for _, op := range ops {
+			b.add(fmt.Sprintf("k%d", op%16))
+		}
+		if len(b.order) != len(b.member) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, k := range b.order {
+			if seen[k] || !b.member[k] {
+				return false // duplicate in order, or order/member disagree
+			}
+			seen[k] = true
+		}
+		return len(b.order) <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- session cache ----------------------------------------------------------
+
+func attrWithMtime(sec uint32, typ nfs3.FType) nfs3.Fattr {
+	return nfs3.Fattr{Type: typ, Mtime: nfs3.Time{Sec: sec}, Size: 100}
+}
+
+func TestCacheAttrLifecycle(t *testing.T) {
+	sc := newSessionCache(32*1024, 1<<20)
+	fh := fhN(1)
+	if _, ok := sc.getAttr(fh); ok {
+		t.Fatal("empty cache returned attrs")
+	}
+	sc.putAttr(fh, attrWithMtime(1, nfs3.TypeReg))
+	if a, ok := sc.getAttr(fh); !ok || a.Mtime.Sec != 1 {
+		t.Fatalf("getAttr = %+v, %v", a, ok)
+	}
+	sc.invalidateAttr(fh)
+	if _, ok := sc.getAttr(fh); ok {
+		t.Fatal("invalidated attr still served")
+	}
+}
+
+func TestCacheInvalidateAllDropsLookups(t *testing.T) {
+	sc := newSessionCache(32*1024, 1<<20)
+	dir := fhN(1)
+	sc.putAttr(dir, attrWithMtime(1, nfs3.TypeDir))
+	sc.putLookup(dir, "x", fhN(2))
+	sc.invalidateAllAttrs()
+	sc.putAttr(dir, attrWithMtime(1, nfs3.TypeDir))
+	if _, _, ok := sc.getLookup(dir, "x"); ok {
+		t.Fatal("lookup survived force-invalidation")
+	}
+}
+
+func TestCachePositiveLookupSurvivesDirChange(t *testing.T) {
+	sc := newSessionCache(32*1024, 1<<20)
+	dir := fhN(1)
+	child := fhN(2)
+	sc.putAttr(dir, attrWithMtime(1, nfs3.TypeDir))
+	sc.putLookup(dir, "kept", child)
+	// Another file is created next to it: dir mtime changes.
+	sc.putAttr(dir, attrWithMtime(2, nfs3.TypeDir))
+	fh, neg, ok := sc.getLookup(dir, "kept")
+	if !ok || neg || !fh.Equal(child) {
+		t.Fatal("positive binding should survive unrelated dir changes (per-file invalidation covers removals)")
+	}
+}
+
+func TestCacheNegativeLookupDiesOnDirChange(t *testing.T) {
+	sc := newSessionCache(32*1024, 1<<20)
+	dir := fhN(1)
+	sc.putAttr(dir, attrWithMtime(1, nfs3.TypeDir))
+	sc.putNegLookup(dir, "ghost")
+	if _, neg, ok := sc.getLookup(dir, "ghost"); !ok || !neg {
+		t.Fatal("negative entry not cached")
+	}
+	// The directory changed: the name may exist now.
+	sc.putAttr(dir, attrWithMtime(2, nfs3.TypeDir))
+	if _, _, ok := sc.getLookup(dir, "ghost"); ok {
+		t.Fatal("stale negative entry served after dir change")
+	}
+}
+
+func TestCacheLookupRequiresDirAttrs(t *testing.T) {
+	sc := newSessionCache(32*1024, 1<<20)
+	dir := fhN(1)
+	sc.putAttr(dir, attrWithMtime(1, nfs3.TypeDir))
+	sc.putLookup(dir, "x", fhN(2))
+	sc.invalidateAttr(dir)
+	if _, _, ok := sc.getLookup(dir, "x"); ok {
+		t.Fatal("lookup served with invalidated dir attrs")
+	}
+}
+
+func TestCacheBlocksDroppedOnForeignMtimeChange(t *testing.T) {
+	sc := newSessionCache(4, 1<<20)
+	fh := fhN(1)
+	a1 := attrWithMtime(1, nfs3.TypeReg)
+	sc.putCleanBlock(fh, 0, []byte{1, 2, 3, 4}, a1)
+	if _, ok := sc.getBlock(fh, 0); !ok {
+		t.Fatal("block not cached")
+	}
+	// Attributes observed with a different mtime: foreign change.
+	sc.putAttr(fh, attrWithMtime(9, nfs3.TypeReg))
+	if _, ok := sc.getBlock(fh, 0); ok {
+		t.Fatal("stale block served after foreign modification")
+	}
+}
+
+func TestCacheOwnWriteKeepsBlocks(t *testing.T) {
+	sc := newSessionCache(4, 1<<20)
+	fh := fhN(1)
+	a1 := attrWithMtime(1, nfs3.TypeReg)
+	sc.putCleanBlock(fh, 0, []byte{1, 2, 3, 4}, a1)
+	// Our own WRITE advanced mtime 1 -> 2; wcc proves it was us.
+	a2 := attrWithMtime(2, nfs3.TypeReg)
+	sc.updateAfterWrite(fh, nfs3.WccData{
+		Before: nfs3.PreOpAttr{Present: true, Attr: nfs3.WccAttr{Mtime: a1.Mtime, Size: a1.Size}},
+		After:  nfs3.PostOpAttr{Present: true, Attr: a2},
+	})
+	if _, ok := sc.getBlock(fh, 0); !ok {
+		t.Fatal("own write dropped cached blocks (wcc reconciliation broken)")
+	}
+	// A write whose pre-op mtime does not match is foreign: drop.
+	a9 := attrWithMtime(9, nfs3.TypeReg)
+	sc.updateAfterWrite(fh, nfs3.WccData{
+		Before: nfs3.PreOpAttr{Present: true, Attr: nfs3.WccAttr{Mtime: nfs3.Time{Sec: 8}}},
+		After:  nfs3.PostOpAttr{Present: true, Attr: a9},
+	})
+	if _, ok := sc.getBlock(fh, 0); ok {
+		t.Fatal("foreign interleaved write did not drop blocks")
+	}
+}
+
+func TestCacheDirtyLifecycle(t *testing.T) {
+	sc := newSessionCache(4, 1<<20)
+	fh := fhN(1)
+	sc.putAttr(fh, attrWithMtime(1, nfs3.TypeReg))
+	sc.writeDirty(fh, 0, []byte{9, 9, 9, 9})
+	sc.writeDirty(fh, 4, []byte{8, 8})
+	if !sc.hasDirty(fh) {
+		t.Fatal("no dirty state after writeDirty")
+	}
+	if got := sc.dirtyBlocks(fh); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("dirtyBlocks = %v", got)
+	}
+	if files := sc.dirtyFiles(); len(files) != 1 || !files[0].Equal(fh) {
+		t.Fatalf("dirtyFiles = %v", files)
+	}
+	// Size adjustment visible through attrs.
+	if a, ok := sc.getAttr(fh); !ok || a.Size != 6 {
+		t.Fatalf("adjusted size = %+v", a)
+	}
+	data, off, ok := sc.takeDirty(fh, 1)
+	if !ok || off != 4 || len(data) != 2 {
+		t.Fatalf("takeDirty = %v @%d, %v", data, off, ok)
+	}
+	sc.flushed(fh, 1, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)})
+	sc.flushed(fh, 0, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)})
+	// takeDirty for block 0 still worked before flushed(0) marked it clean;
+	// after both flushes nothing is dirty.
+	if sc.hasDirty(fh) {
+		t.Fatal("dirty state after flushing all blocks")
+	}
+	sc.dropDirty(fh) // no-op now
+}
+
+func TestCacheDirtyBeyondTruncationDropped(t *testing.T) {
+	sc := newSessionCache(4, 1<<20)
+	fh := fhN(1)
+	sc.putAttr(fh, attrWithMtime(1, nfs3.TypeReg))
+	sc.writeDirty(fh, 8, []byte{1, 1, 1, 1}) // block 2, file size 12
+	// Shrink the file below the dirty block.
+	sc.mu.Lock()
+	sc.files[fh.Key()].size = 4
+	sc.mu.Unlock()
+	if _, _, ok := sc.takeDirty(fh, 2); ok {
+		t.Fatal("dirty block beyond truncation point was flushed")
+	}
+	if sc.hasDirty(fh) {
+		t.Fatal("orphan dirty block not dropped")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	sc := newSessionCache(4, 12) // room for 3 blocks
+	fh := fhN(1)
+	a := attrWithMtime(1, nfs3.TypeReg)
+	for bn := uint64(0); bn < 5; bn++ {
+		sc.putCleanBlock(fh, bn, []byte{byte(bn)}, a)
+	}
+	st := sc.stats()
+	if st.Bytes > 12 {
+		t.Fatalf("cache %d bytes, bound 12", st.Bytes)
+	}
+	// Oldest blocks evicted.
+	if _, ok := sc.getBlock(fh, 0); ok {
+		t.Fatal("block 0 should have been evicted")
+	}
+	if _, ok := sc.getBlock(fh, 4); !ok {
+		t.Fatal("most recent block missing")
+	}
+}
+
+func TestCacheDirtyBlocksPinnedAgainstEviction(t *testing.T) {
+	sc := newSessionCache(4, 8) // 2 clean blocks max
+	fh := fhN(1)
+	sc.putAttr(fh, attrWithMtime(1, nfs3.TypeReg))
+	sc.writeDirty(fh, 0, []byte{1, 1, 1, 1})
+	a := attrWithMtime(1, nfs3.TypeReg)
+	for bn := uint64(1); bn < 6; bn++ {
+		sc.putCleanBlock(fh, bn, []byte{byte(bn)}, a)
+	}
+	if _, ok := sc.getBlock(fh, 0); !ok {
+		t.Fatal("dirty block evicted")
+	}
+	if !sc.hasDirty(fh) {
+		t.Fatal("dirty state lost")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Model != ModelPolling {
+		t.Errorf("default model = %v", cfg.Model)
+	}
+	if cfg.PollPeriod == 0 || cfg.InvBufferEntries == 0 || cfg.DelegExpiry == 0 {
+		t.Errorf("zero defaults: %+v", cfg)
+	}
+	if cfg.DelegRenew >= cfg.DelegExpiry {
+		t.Errorf("renew %v >= expiry %v", cfg.DelegRenew, cfg.DelegExpiry)
+	}
+	// A renew configured above expiry is pulled back under it.
+	cfg = Config{DelegExpiry: 10, DelegRenew: 20}.withDefaults()
+	if cfg.DelegRenew >= cfg.DelegExpiry {
+		t.Errorf("renew not clamped: %+v", cfg)
+	}
+}
+
+func TestDelegTypeStrings(t *testing.T) {
+	if DelegNone.String() != "none" || DelegRead.String() != "read" || DelegWrite.String() != "write" {
+		t.Fatal("DelegType strings wrong")
+	}
+	if ModelPolling.String() == ModelDelegation.String() {
+		t.Fatal("model strings collide")
+	}
+}

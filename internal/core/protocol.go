@@ -1,0 +1,398 @@
+// Package core implements the paper's contribution: GVFS user-level proxy
+// clients and servers that interpose on NFSv3 traffic and overlay
+// application-tailored cache consistency on top of it.
+//
+// Two consistency models are provided, selectable per session:
+//
+//   - Invalidation polling (Section 4.2): the proxy server records logically
+//     time-stamped invalidations in per-client circular buffers; proxy
+//     clients batch-fetch them with the GETINV protocol extension.
+//   - Delegation + callback (Section 4.3): the proxy server grants per-file
+//     read/write delegations based on speculated open/close state and
+//     revokes them with server-to-client callback RPCs, including partial
+//     write-back of large dirty sets.
+//
+// This file defines the GVFS wire protocol extensions: the GETINV program,
+// the callback program, the session credential, and the delegation trailer
+// piggybacked on native NFS replies.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nfs3"
+	"repro/internal/sunrpc"
+	"repro/internal/xdr"
+)
+
+// GVFS extension program numbers (in the transient range reserved for
+// site-local Sun RPC programs).
+const (
+	// InvProgram is served by the proxy server: GETINV polls.
+	InvProgram = 395700
+	InvVersion = 1
+	// ProcGetInv requests the contents of the caller's invalidation buffer.
+	ProcGetInv = 1
+
+	// CallbackProgram is served by each proxy client; the proxy server
+	// calls it to recall delegations and to reconstruct state.
+	CallbackProgram = 395701
+	CallbackVersion = 1
+	// ProcRecall revokes a delegation on one file.
+	ProcRecall = 1
+	// ProcRecallAll targets the entire cache (server state reconstruction
+	// after a crash, Section 4.3.4).
+	ProcRecallAll = 2
+)
+
+// SessionCred is the GVFS credential a proxy client encapsulates in every
+// RPC request: session key for authentication/isolation, client ID, and the
+// callback address the server can connect back to (Section 4.3.2).
+type SessionCred struct {
+	SessionKey   string
+	ClientID     string
+	CallbackAddr string
+}
+
+// Encode renders the credential as a sunrpc.Cred with the AuthGVFS flavor.
+func (sc *SessionCred) Encode() sunrpc.Cred {
+	e := xdr.NewEncoder()
+	e.String(sc.SessionKey)
+	e.String(sc.ClientID)
+	e.String(sc.CallbackAddr)
+	return sunrpc.Cred{Flavor: sunrpc.AuthGVFS, Body: e.Bytes()}
+}
+
+// DecodeSessionCred parses an AuthGVFS credential.
+func DecodeSessionCred(cred sunrpc.Cred) (SessionCred, error) {
+	var sc SessionCred
+	if cred.Flavor != sunrpc.AuthGVFS {
+		return sc, fmt.Errorf("core: credential flavor %d is not AuthGVFS", cred.Flavor)
+	}
+	d := xdr.NewDecoder(cred.Body)
+	var err error
+	if sc.SessionKey, err = d.String(64); err != nil {
+		return sc, err
+	}
+	if sc.ClientID, err = d.String(64); err != nil {
+		return sc, err
+	}
+	sc.CallbackAddr, err = d.String(128)
+	return sc, err
+}
+
+// GetInvArgs is the GETINV request: the logical timestamp of the last
+// invalidation the client has applied (0 = bootstrap null argument), and the
+// maximum number of handles the client will accept in one reply.
+type GetInvArgs struct {
+	Timestamp  uint64
+	MaxHandles uint32
+}
+
+// Encode writes the wire form.
+func (a *GetInvArgs) Encode(e *xdr.Encoder) {
+	e.Uint64(a.Timestamp)
+	e.Uint32(a.MaxHandles)
+}
+
+// Decode reads the wire form.
+func (a *GetInvArgs) Decode(d *xdr.Decoder) error {
+	var err error
+	if a.Timestamp, err = d.Uint64(); err != nil {
+		return err
+	}
+	a.MaxHandles, err = d.Uint32()
+	return err
+}
+
+// GetInvRes is the GETINV reply (Section 4.2.1).
+type GetInvRes struct {
+	// Timestamp is the server's updated logical timestamp.
+	Timestamp uint64
+	// ForceInvalidate tells the client to invalidate its entire attribute
+	// cache (bootstrap, buffer wrap-around, server restart).
+	ForceInvalidate bool
+	// PollAgain is set when the buffer did not fit in one reply; the client
+	// must immediately issue another GETINV.
+	PollAgain bool
+	// Handles are the file handles to invalidate.
+	Handles []nfs3.FH
+}
+
+// Encode writes the wire form.
+func (r *GetInvRes) Encode(e *xdr.Encoder) {
+	e.Uint64(r.Timestamp)
+	e.Bool(r.ForceInvalidate)
+	e.Bool(r.PollAgain)
+	e.Uint32(uint32(len(r.Handles)))
+	for _, fh := range r.Handles {
+		e.Opaque(fh.Bytes())
+	}
+}
+
+// Decode reads the wire form.
+func (r *GetInvRes) Decode(d *xdr.Decoder) error {
+	var err error
+	if r.Timestamp, err = d.Uint64(); err != nil {
+		return err
+	}
+	if r.ForceInvalidate, err = d.Bool(); err != nil {
+		return err
+	}
+	if r.PollAgain, err = d.Bool(); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Handles = r.Handles[:0]
+	for i := uint32(0); i < n; i++ {
+		b, err := d.Opaque(nfs3.MaxFHSize)
+		if err != nil {
+			return err
+		}
+		fh, err := nfs3.FHFromBytes(b)
+		if err != nil {
+			return err
+		}
+		r.Handles = append(r.Handles, fh)
+	}
+	return nil
+}
+
+// Delegation types.
+type DelegType uint32
+
+// Delegation states carried in reply trailers and recalls.
+const (
+	DelegNone DelegType = 0
+	DelegRead DelegType = 1
+	// DelegWrite also implies read.
+	DelegWrite DelegType = 2
+)
+
+func (t DelegType) String() string {
+	switch t {
+	case DelegNone:
+		return "none"
+	case DelegRead:
+		return "read"
+	case DelegWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("deleg(%d)", uint32(t))
+	}
+}
+
+// Trailer is the GVFS decision piggybacked by the proxy server on a native
+// NFS reply (Section 4.3.1): a delegation grant/denial and a cacheability
+// bit for the file the call touched. The proxy client strips it before
+// answering the kernel client.
+type Trailer struct {
+	// Deleg is the delegation now held by the calling client for FH.
+	Deleg DelegType
+	// Cacheable is cleared while the file is under conflicting sharing.
+	Cacheable bool
+	// FH identifies the file the decision applies to (zero if none).
+	FH nfs3.FH
+	// Seq orders this grant against recalls: the server stamps every grant
+	// and recall from one monotonic counter, and a client ignores a grant
+	// whose stamp is older than the last recall it served for the same
+	// file. Without this fence a grant reply racing with a recall for a
+	// concurrent destructive operation could leave the client caching a
+	// delegation (and a name binding) the server already revoked.
+	Seq uint64
+}
+
+// Encode appends the trailer to a reply.
+func (t *Trailer) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(t.Deleg))
+	e.Bool(t.Cacheable)
+	e.Opaque(t.FH.Bytes())
+	e.Uint64(t.Seq)
+}
+
+// Decode reads a trailer.
+func (t *Trailer) Decode(d *xdr.Decoder) error {
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	t.Deleg = DelegType(v)
+	if t.Cacheable, err = d.Bool(); err != nil {
+		return err
+	}
+	b, err := d.Opaque(nfs3.MaxFHSize)
+	if err != nil {
+		return err
+	}
+	if t.FH, err = nfs3.FHFromBytes(b); err != nil {
+		return err
+	}
+	t.Seq, err = d.Uint64()
+	return err
+}
+
+// Trailers is the full piggyback appended to a native NFS reply: one
+// decision per file handle the call touched (e.g. a LOOKUP carries one for
+// the directory and one for the resolved child).
+type Trailers []Trailer
+
+// Encode writes the list with a count prefix.
+func (ts Trailers) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(len(ts)))
+	for i := range ts {
+		ts[i].Encode(e)
+	}
+}
+
+// DecodeTrailers reads a trailer list.
+func DecodeTrailers(d *xdr.Decoder) (Trailers, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 16 {
+		return nil, fmt.Errorf("core: %d trailers", n)
+	}
+	ts := make(Trailers, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var t Trailer
+		if err := t.Decode(d); err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	return ts, nil
+}
+
+// RecallArgs asks a proxy client to give up a delegation on FH. For write
+// recalls triggered by another client's access to a specific block, Offset
+// carries that block's offset so the client can write it back first
+// (Section 4.3.2's optimization).
+type RecallArgs struct {
+	FH        nfs3.FH
+	Deleg     DelegType // the delegation level being revoked
+	HasOffset bool
+	Offset    uint64
+	// Seq fences this recall against in-flight grants (see Trailer.Seq).
+	Seq uint64
+	// Name, when non-empty, is a directory entry being removed or replaced
+	// by the operation that triggered the recall: the client must drop its
+	// cached (FH, Name) binding.
+	Name string
+}
+
+// Encode writes the wire form.
+func (a *RecallArgs) Encode(e *xdr.Encoder) {
+	e.Opaque(a.FH.Bytes())
+	e.Uint32(uint32(a.Deleg))
+	e.Bool(a.HasOffset)
+	e.Uint64(a.Offset)
+	e.Uint64(a.Seq)
+	e.String(a.Name)
+}
+
+// Decode reads the wire form.
+func (a *RecallArgs) Decode(d *xdr.Decoder) error {
+	b, err := d.Opaque(nfs3.MaxFHSize)
+	if err != nil {
+		return err
+	}
+	if a.FH, err = nfs3.FHFromBytes(b); err != nil {
+		return err
+	}
+	v, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	a.Deleg = DelegType(v)
+	if a.HasOffset, err = d.Bool(); err != nil {
+		return err
+	}
+	if a.Offset, err = d.Uint64(); err != nil {
+		return err
+	}
+	if a.Seq, err = d.Uint64(); err != nil {
+		return err
+	}
+	a.Name, err = d.String(nfs3.MaxNameLen)
+	return err
+}
+
+// RecallRes is the proxy client's answer to a recall. If the client held
+// many dirty blocks, Pending lists the byte offsets it has NOT yet written
+// back; the server tracks their progress (Section 4.3.2).
+type RecallRes struct {
+	Status  nfs3.Status
+	Pending []uint64
+}
+
+// Encode writes the wire form.
+func (r *RecallRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	e.Uint32(uint32(len(r.Pending)))
+	for _, off := range r.Pending {
+		e.Uint64(off)
+	}
+}
+
+// Decode reads the wire form.
+func (r *RecallRes) Decode(d *xdr.Decoder) error {
+	st, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Status = nfs3.Status(st)
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.Pending = r.Pending[:0]
+	for i := uint32(0); i < n; i++ {
+		off, err := d.Uint64()
+		if err != nil {
+			return err
+		}
+		r.Pending = append(r.Pending, off)
+	}
+	return nil
+}
+
+// RecallAllRes is the reply to a whole-cache callback issued during server
+// state reconstruction: the handles of files for which the client holds
+// locally modified (dirty) data, so the server can rebuild its open-file
+// table (Section 4.3.4).
+type RecallAllRes struct {
+	DirtyFiles []nfs3.FH
+}
+
+// Encode writes the wire form.
+func (r *RecallAllRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(len(r.DirtyFiles)))
+	for _, fh := range r.DirtyFiles {
+		e.Opaque(fh.Bytes())
+	}
+}
+
+// Decode reads the wire form.
+func (r *RecallAllRes) Decode(d *xdr.Decoder) error {
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	r.DirtyFiles = r.DirtyFiles[:0]
+	for i := uint32(0); i < n; i++ {
+		b, err := d.Opaque(nfs3.MaxFHSize)
+		if err != nil {
+			return err
+		}
+		fh, err := nfs3.FHFromBytes(b)
+		if err != nil {
+			return err
+		}
+		r.DirtyFiles = append(r.DirtyFiles, fh)
+	}
+	return nil
+}

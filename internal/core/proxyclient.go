@@ -1,0 +1,1181 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/nfs3"
+	"repro/internal/sunrpc"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/xdr"
+)
+
+// ProxyClient is the GVFS user-level proxy on a compute node. The unmodified
+// kernel NFS client mounts it over loopback; the proxy serves what it can
+// from its per-session disk cache and forwards the rest across the wide
+// area to the proxy server, maintaining consistency with the session's
+// configured protocol.
+type ProxyClient struct {
+	clk  *vclock.Clock
+	cfg  Config
+	cred SessionCred
+
+	cache *sessionCache
+	srv   *sunrpc.Server
+	// redial re-establishes the upstream connection after a failure
+	// (server restart, healed partition); nil disables reconnection.
+	redial func() (*sunrpc.Client, error)
+
+	mu           sync.Mutex
+	up           *sunrpc.Client
+	accum        map[uint64]int64 // upstream RPC counts from closed connections
+	delegs       map[string]DelegType
+	noncacheable map[string]bool
+	lastForward  map[string]time.Duration
+	recallFence  map[string]uint64 // FH key -> seq of the latest recall served
+	lastInvTS    uint64
+	pollWindow   time.Duration
+	stopped      bool
+
+	stats ProxyClientStats
+}
+
+// ProxyClientStats counts proxy-client activity for the evaluation harness.
+type ProxyClientStats struct {
+	// LocalHits are kernel RPCs answered from the disk cache without any
+	// wide-area traffic — the calls the paper's figures show disappearing.
+	LocalHits int64
+	// Forwards are kernel RPCs that crossed the wide area.
+	Forwards int64
+	// Invalidations is the number of handles invalidated via GETINV.
+	Invalidations int64
+	// ForceInvalidations counts whole-cache invalidations.
+	ForceInvalidations int64
+	// Recalls counts delegation callbacks served.
+	Recalls int64
+	// FlushedBlocks counts dirty blocks written back.
+	FlushedBlocks int64
+	// UpstreamRetries counts upstream call attempts that failed at the RPC
+	// layer (timeout or connection loss) and were retried or abandoned.
+	UpstreamRetries int64
+	// FlushErrors counts dirty-block write-backs that failed with an NFS
+	// error (e.g. the file was removed); the block is dropped.
+	FlushErrors int64
+}
+
+// NewProxyClient builds a proxy client over an established upstream RPC
+// connection (to the proxy server, or directly to an NFS server for
+// pass-through operation). The session credential is attached to every
+// upstream call.
+func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred SessionCred) *ProxyClient {
+	cfg = cfg.withDefaults()
+	upstream.SetCred(cred.Encode())
+	p := &ProxyClient{
+		clk:          clk,
+		cfg:          cfg,
+		cred:         cred,
+		up:           upstream,
+		accum:        make(map[uint64]int64),
+		cache:        newSessionCache(cfg.BlockSize, cfg.CacheBytes),
+		srv:          sunrpc.NewServer(clk),
+		delegs:       make(map[string]DelegType),
+		noncacheable: make(map[string]bool),
+		lastForward:  make(map[string]time.Duration),
+		recallFence:  make(map[string]uint64),
+		pollWindow:   cfg.PollPeriod,
+	}
+	p.srv.Register(nfs3.Program, nfs3.Version, p.dispatchNFS)
+	p.srv.Register(nfs3.MountProgram, nfs3.MountVersion, p.dispatchMount)
+	p.srv.Register(CallbackProgram, CallbackVersion, p.dispatchCallback)
+	return p
+}
+
+// SetRedial installs a reconnection function used when the upstream
+// connection fails: both NFS forwards and GETINV polls transparently retry
+// on a fresh connection, the "simply retried" recovery of Section 4.2.3.
+func (p *ProxyClient) SetRedial(redial func() (*sunrpc.Client, error)) {
+	p.redial = redial
+}
+
+func (p *ProxyClient) upstream() *sunrpc.Client {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up
+}
+
+// reconnect swaps in a fresh upstream connection if old is still current.
+func (p *ProxyClient) reconnect(old *sunrpc.Client) bool {
+	if p.redial == nil {
+		return false
+	}
+	p.mu.Lock()
+	current := p.up
+	p.mu.Unlock()
+	if current != old {
+		return true // raced with another reconnect
+	}
+	nu, err := p.redial()
+	if err != nil {
+		return false
+	}
+	nu.SetCred(p.cred.Encode())
+	p.mu.Lock()
+	if p.up != old {
+		p.mu.Unlock()
+		nu.Close()
+		return true
+	}
+	for k, v := range old.Counts() {
+		p.accum[k] += v
+	}
+	p.up = nu
+	p.mu.Unlock()
+	old.Close()
+	return true
+}
+
+// rawCall issues one upstream RPC with reconnect-and-retry on failure.
+func (p *ProxyClient) rawCall(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+	for attempt := 0; ; attempt++ {
+		up := p.upstream()
+		d, err := up.CallTimeout(prog, vers, proc, args, p.cfg.CallTimeout)
+		if err == nil {
+			return d, nil
+		}
+		p.mu.Lock()
+		p.stats.UpstreamRetries++
+		stopped := p.stopped
+		p.mu.Unlock()
+		if stopped || attempt >= 2 {
+			return nil, err
+		}
+		if !p.reconnect(up) {
+			p.clk.Sleep(time.Second)
+			if !p.reconnect(up) {
+				return nil, err
+			}
+		}
+	}
+}
+
+// AdoptCache installs a previously used disk cache, modeling the on-disk
+// cache that survives a proxy-client crash (Section 4.3.4). Must be called
+// before Start.
+func (p *ProxyClient) AdoptCache(c *SessionCacheState) {
+	if c != nil && c.cache != nil {
+		p.cache = c.cache
+		p.cache.bs = p.cfg.BlockSize
+	}
+}
+
+// SessionCacheState is an opaque handle to the session's disk cache
+// contents, used to persist them across proxy restarts.
+type SessionCacheState struct{ cache *sessionCache }
+
+// CacheState exports the disk cache for a later AdoptCache.
+func (p *ProxyClient) CacheState() *SessionCacheState {
+	return &SessionCacheState{cache: p.cache}
+}
+
+// Serve starts serving kernel NFS traffic on nfsListener and GVFS callbacks
+// on cbListener, and launches the session's maintenance actors.
+func (p *ProxyClient) Serve(nfsListener, cbListener transport.Listener) {
+	p.srv.Serve(nfsListener)
+	if cbListener != nil {
+		p.srv.Serve(cbListener)
+	}
+	if p.cfg.Model == ModelPolling {
+		p.clk.GoDaemon("gvfs-poll:"+p.cred.ClientID, p.pollLoop)
+	}
+	if p.cfg.WriteBack || p.cfg.Model == ModelDelegation {
+		p.clk.GoDaemon("gvfs-flush:"+p.cred.ClientID, p.flushLoop)
+	}
+}
+
+// RecoverAfterCrash models the proxy client restarting with its disk cache
+// intact: it invalidates all cached attributes to force revalidation and
+// attempts to write back one block per dirty file to reconcile conflicts
+// and reacquire delegations (Section 4.3.4). Files whose write-back fails
+// with a conflict have their dirty data discarded as corrupted.
+func (p *ProxyClient) RecoverAfterCrash() {
+	p.cache.invalidateAllAttrs()
+	p.mu.Lock()
+	p.delegs = make(map[string]DelegType)
+	p.mu.Unlock()
+	for _, fh := range p.cache.dirtyFiles() {
+		blocks := p.cache.dirtyBlocks(fh)
+		if len(blocks) == 0 {
+			continue
+		}
+		if err := p.flushBlock(fh, blocks[0]); err != nil {
+			p.cache.dropDirty(fh)
+		}
+	}
+}
+
+// Stop halts the proxy and closes its connections. Dirty data is flushed
+// first on a best-effort basis.
+func (p *ProxyClient) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	p.flushAll()
+	p.srv.Close()
+	p.upstream().Close()
+}
+
+// Crash models an abrupt proxy-client failure: connections drop and no
+// dirty data is flushed. The disk cache object survives (it is "on disk");
+// recover with AdoptCache + RecoverAfterCrash on a new instance.
+func (p *ProxyClient) Crash() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.srv.Close()
+	p.upstream().Close()
+}
+
+// Stats returns a snapshot of proxy activity counters.
+func (p *ProxyClient) Stats() ProxyClientStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// UpstreamCounts returns wide-area RPCs sent, keyed by prog<<32|proc,
+// accumulated across reconnections.
+func (p *ProxyClient) UpstreamCounts() map[uint64]int64 {
+	p.mu.Lock()
+	up := p.up
+	out := make(map[uint64]int64, len(p.accum))
+	for k, v := range p.accum {
+		out[k] = v
+	}
+	p.mu.Unlock()
+	for k, v := range up.Counts() {
+		out[k] += v
+	}
+	return out
+}
+
+// CacheStats reports disk cache occupancy.
+func (p *ProxyClient) CacheStats() (attrs, lookups, files int, bytes int64) {
+	s := p.cache.stats()
+	return s.Attrs, s.Lookups, s.Files, s.Bytes
+}
+
+// --- maintenance actors ---------------------------------------------------
+
+// pollLoop is the invalidation-polling client side (Section 4.2.1): poll the
+// proxy server's GETINV within the configured window, optionally with
+// exponential back-off.
+func (p *ProxyClient) pollLoop() {
+	// Bootstrap immediately: the first GETINV carries a null timestamp and
+	// obtains the session's initial logical timestamp (Section 4.2.2).
+	p.pollOnce()
+	for {
+		p.clk.Sleep(p.currentWindow())
+		p.mu.Lock()
+		stopped := p.stopped
+		p.mu.Unlock()
+		if stopped {
+			return
+		}
+		gotAny, err := p.pollOnce()
+		if err != nil {
+			continue // server unreachable; soft state, just poll again
+		}
+		p.adjustWindow(gotAny)
+	}
+}
+
+func (p *ProxyClient) currentWindow() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pollWindow
+}
+
+func (p *ProxyClient) adjustWindow(gotInvalidations bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.PollBackoffMax <= p.cfg.PollPeriod {
+		return // fixed window
+	}
+	if gotInvalidations {
+		p.pollWindow = p.cfg.PollPeriod
+		return
+	}
+	p.pollWindow *= 2
+	if p.pollWindow > p.cfg.PollBackoffMax {
+		p.pollWindow = p.cfg.PollBackoffMax
+	}
+}
+
+// pollOnce issues GETINV calls until the buffer is drained, applying the
+// client-side algorithm of Section 4.2.1.
+func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
+	for {
+		p.mu.Lock()
+		ts := p.lastInvTS
+		p.mu.Unlock()
+
+		args := GetInvArgs{Timestamp: ts, MaxHandles: uint32(p.cfg.MaxHandlesPerReply)}
+		e := xdr.NewEncoder()
+		args.Encode(e)
+		d, callErr := p.rawCall(InvProgram, InvVersion, ProcGetInv, e.Bytes())
+		if callErr != nil {
+			return gotAny, callErr
+		}
+		var res GetInvRes
+		if decErr := res.Decode(d); decErr != nil {
+			return gotAny, decErr
+		}
+
+		// 1) Update the last known server timestamp.
+		p.mu.Lock()
+		p.lastInvTS = res.Timestamp
+		p.mu.Unlock()
+
+		switch {
+		case res.ForceInvalidate:
+			// 2) Invalidate the entire attributes cache.
+			p.cache.invalidateAllAttrs()
+			p.mu.Lock()
+			p.stats.ForceInvalidations++
+			p.mu.Unlock()
+			gotAny = true
+		default:
+			// 3) Invalidate the concerned files.
+			for _, fh := range res.Handles {
+				p.cache.invalidateAttr(fh)
+			}
+			if len(res.Handles) > 0 {
+				gotAny = true
+				p.mu.Lock()
+				p.stats.Invalidations += int64(len(res.Handles))
+				p.mu.Unlock()
+			}
+		}
+		// 4) Poll again immediately if the buffer did not fit.
+		if !res.PollAgain {
+			return gotAny, nil
+		}
+	}
+}
+
+// flushLoop periodically writes back dirty blocks.
+func (p *ProxyClient) flushLoop() {
+	for {
+		p.clk.Sleep(p.cfg.FlushInterval)
+		p.mu.Lock()
+		stopped := p.stopped
+		p.mu.Unlock()
+		if stopped {
+			return
+		}
+		p.flushAll()
+	}
+}
+
+func (p *ProxyClient) flushAll() {
+	for _, fh := range p.cache.dirtyFiles() {
+		p.flushFile(fh, 0, false)
+	}
+}
+
+// flushFile writes back every dirty block of fh. When skipBn is valid the
+// block was already flushed by the caller.
+func (p *ProxyClient) flushFile(fh nfs3.FH, skipBn uint64, skip bool) {
+	for _, bn := range p.cache.dirtyBlocks(fh) {
+		if skip && bn == skipBn {
+			continue
+		}
+		p.flushBlock(fh, bn)
+	}
+}
+
+// flushBlock writes one dirty block upstream.
+func (p *ProxyClient) flushBlock(fh nfs3.FH, bn uint64) error {
+	data, off, ok := p.cache.takeDirty(fh, bn)
+	if !ok {
+		return nil
+	}
+	if p.cfg.DiskDelay > 0 {
+		p.clk.Sleep(p.cfg.DiskDelay) // read the dirty block back from disk
+	}
+	args := nfs3.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
+	var res nfs3.WriteRes
+	if _, err := p.callUpstream(nfs3.ProcWrite, &args, &res); err != nil {
+		return err
+	}
+	if res.Status != nfs3.OK {
+		// The write-back target is gone or rejecting writes (e.g. removed
+		// behind our back): keeping the block dirty would retry forever.
+		// Drop it, as the paper drops "corrupted" dirty data (Section 4.3.4).
+		p.cache.dropDirty(fh)
+		p.mu.Lock()
+		p.stats.FlushErrors++
+		p.mu.Unlock()
+		return &nfs3.Error{Status: res.Status, Proc: nfs3.ProcWrite}
+	}
+	p.cache.flushed(fh, bn, res.Wcc.After)
+	p.mu.Lock()
+	p.stats.FlushedBlocks++
+	p.mu.Unlock()
+	return nil
+}
+
+// --- upstream helpers -------------------------------------------------------
+
+type wireEnc interface{ Encode(*xdr.Encoder) }
+type wireDec interface{ Decode(*xdr.Decoder) error }
+
+// callUpstream forwards one NFS call across the wide area and extracts the
+// GVFS trailers the proxy server piggybacks on the reply (absent when the
+// upstream is a plain NFS server).
+func (p *ProxyClient) callUpstream(proc uint32, args wireEnc, res wireDec) (Trailers, error) {
+	e := xdr.NewEncoder()
+	if args != nil {
+		args.Encode(e)
+	}
+	d, err := p.rawCall(nfs3.Program, nfs3.Version, proc, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Decode(d); err != nil {
+		return nil, err
+	}
+	var ts Trailers
+	if d.Remaining() > 0 {
+		if ts, err = DecodeTrailers(d); err != nil {
+			ts = nil
+		}
+	}
+	for _, tr := range ts {
+		p.applyTrailer(tr)
+	}
+	return ts, nil
+}
+
+func (p *ProxyClient) applyTrailer(tr Trailer) {
+	if tr.FH.IsZero() {
+		return
+	}
+	key := tr.FH.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.Model == ModelDelegation {
+		if tr.Deleg != DelegNone && tr.Seq <= p.recallFence[key] {
+			// The grant raced with (and lost to) a recall for a concurrent
+			// destructive operation: honoring it would cache revoked state.
+			// Drop it; the next access simply forwards.
+			tr.Deleg = DelegNone
+			tr.Cacheable = false
+		}
+		p.delegs[key] = tr.Deleg
+	}
+	p.noncacheable[key] = !tr.Cacheable
+	p.lastForward[key] = p.clk.Now()
+}
+
+// mapIdentity rewrites settable attributes per the session's cross-domain
+// identity mapping.
+func (p *ProxyClient) mapIdentity(attr *nfs3.Sattr) {
+	if attr.UID != nil {
+		if mapped, ok := p.cfg.UIDMap[*attr.UID]; ok {
+			v := mapped
+			attr.UID = &v
+		}
+	}
+	if attr.GID != nil {
+		if mapped, ok := p.cfg.GIDMap[*attr.GID]; ok {
+			v := mapped
+			attr.GID = &v
+		}
+	}
+}
+
+// noteForward records that a request for fh bypassed the cache (renewal
+// bookkeeping).
+func (p *ProxyClient) noteForward(fh nfs3.FH) {
+	p.mu.Lock()
+	p.lastForward[fh.Key()] = p.clk.Now()
+	p.mu.Unlock()
+}
+
+// servable reports whether fh's cached state may answer requests locally
+// under the session's consistency model, and whether this particular access
+// should instead bypass the cache to renew a delegation.
+func (p *ProxyClient) servable(fh nfs3.FH) bool {
+	key := fh.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.noncacheable[key] {
+		return false
+	}
+	switch p.cfg.Model {
+	case ModelDelegation:
+		if p.delegs[key] == DelegNone {
+			return false
+		}
+		// Renewal: let a request bypass the cache periodically so the
+		// server sees the file as still open (Section 4.3.1).
+		if p.clk.Now()-p.lastForward[key] >= p.cfg.DelegRenew {
+			return false
+		}
+		return true
+	default:
+		// Polling: cached entries are valid until invalidated.
+		return true
+	}
+}
+
+// hasWriteDeleg reports whether writes may be absorbed locally.
+func (p *ProxyClient) hasWriteDeleg(fh nfs3.FH) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.delegs[fh.Key()] == DelegWrite && !p.noncacheable[fh.Key()]
+}
+
+func (p *ProxyClient) hitLocal() {
+	p.mu.Lock()
+	p.stats.LocalHits++
+	p.mu.Unlock()
+}
+
+func (p *ProxyClient) hitForward() {
+	p.mu.Lock()
+	p.stats.Forwards++
+	p.mu.Unlock()
+}
+
+// --- kernel-facing NFS dispatch --------------------------------------------
+
+func (p *ProxyClient) dispatchMount(call *sunrpc.Call) sunrpc.AcceptStat {
+	// Forward MOUNT verbatim: the root handle comes from the real server.
+	raw, err := p.rawCall(nfs3.MountProgram, nfs3.MountVersion, call.Proc, remainingBytes(call.Args))
+	if err != nil {
+		return sunrpc.SystemErr
+	}
+	call.Reply.FixedOpaque(remainingBytes(raw))
+	return sunrpc.Success
+}
+
+// remainingBytes drains a decoder's unread bytes.
+func remainingBytes(d *xdr.Decoder) []byte {
+	b, _ := d.FixedOpaque(d.Remaining())
+	return b
+}
+
+func (p *ProxyClient) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
+	if p.cfg.ProxyDelay > 0 {
+		p.clk.Sleep(p.cfg.ProxyDelay)
+	}
+	switch call.Proc {
+	case nfs3.ProcNull:
+		return sunrpc.Success
+	case nfs3.ProcGetattr:
+		return p.getattr(call)
+	case nfs3.ProcLookup:
+		return p.lookup(call)
+	case nfs3.ProcRead:
+		return p.read(call)
+	case nfs3.ProcWrite:
+		return p.write(call)
+	case nfs3.ProcSetattr:
+		return p.setattr(call)
+	case nfs3.ProcCreate:
+		return p.create(call)
+	case nfs3.ProcMkdir:
+		return p.mkdir(call)
+	case nfs3.ProcSymlink:
+		return p.symlink(call)
+	case nfs3.ProcRemove, nfs3.ProcRmdir:
+		return p.unlink(call)
+	case nfs3.ProcRename:
+		return p.rename(call)
+	case nfs3.ProcLink:
+		return p.linkProc(call)
+	case nfs3.ProcReaddir:
+		return p.readdir(call)
+	case nfs3.ProcReaddirplus:
+		return p.readdirplus(call)
+	case nfs3.ProcCommit:
+		return p.commit(call)
+	case nfs3.ProcAccess, nfs3.ProcReadlink, nfs3.ProcFsstat, nfs3.ProcFsinfo:
+		return p.passthrough(call)
+	default:
+		return sunrpc.ProcUnavail
+	}
+}
+
+func encodeReply(call *sunrpc.Call, res wireEnc) sunrpc.AcceptStat {
+	res.Encode(call.Reply)
+	return sunrpc.Success
+}
+
+func (p *ProxyClient) getattr(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.GetattrArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	if p.servable(args.FH) {
+		if a, ok := p.cache.getAttr(args.FH); ok {
+			p.hitLocal()
+			return encodeReply(call, &nfs3.GetattrRes{Status: nfs3.OK, Attr: a})
+		}
+	}
+	var res nfs3.GetattrRes
+	if _, err := p.callUpstream(nfs3.ProcGetattr, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.GetattrRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.FH)
+	switch res.Status {
+	case nfs3.OK:
+		p.cache.putAttr(args.FH, res.Attr)
+	case nfs3.ErrStale:
+		p.cache.forget(args.FH)
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.DirOpArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	if p.servable(args.Dir) {
+		if childFH, negative, ok := p.cache.getLookup(args.Dir, args.Name); ok {
+			dirAttr, dirOK := p.cache.getAttr(args.Dir)
+			if negative && dirOK {
+				// A cached NOENT: the per-file checks the kernel keeps
+				// issuing for absent names are filtered out locally.
+				p.hitLocal()
+				return encodeReply(call, &nfs3.LookupRes{
+					Status:  nfs3.ErrNoEnt,
+					DirAttr: nfs3.PostOpAttr{Present: true, Attr: dirAttr},
+				})
+			}
+			if !negative && dirOK && p.servable(childFH) {
+				// Under the strong model the child's attributes (and thus
+				// the binding's continued existence) are only trustworthy
+				// while a delegation on the child is held.
+				if childAttr, ok2 := p.cache.getAttr(childFH); ok2 {
+					p.hitLocal()
+					return encodeReply(call, &nfs3.LookupRes{
+						Status:  nfs3.OK,
+						FH:      childFH,
+						Attr:    nfs3.PostOpAttr{Present: true, Attr: childAttr},
+						DirAttr: nfs3.PostOpAttr{Present: true, Attr: dirAttr},
+					})
+				}
+			}
+		}
+	}
+	var res nfs3.LookupRes
+	if _, err := p.callUpstream(nfs3.ProcLookup, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.LookupRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.Dir)
+	if res.DirAttr.Present {
+		p.cache.putAttr(args.Dir, res.DirAttr.Attr)
+	}
+	switch res.Status {
+	case nfs3.OK:
+		if res.Attr.Present {
+			p.cache.putAttr(res.FH, res.Attr.Attr)
+		}
+		p.cache.putLookup(args.Dir, args.Name, res.FH)
+	case nfs3.ErrNoEnt:
+		p.cache.putNegLookup(args.Dir, args.Name)
+	default:
+		p.cache.dropLookup(args.Dir, args.Name)
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.ReadArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	bs := uint64(p.cfg.BlockSize)
+	bn := args.Offset / bs
+	aligned := args.Offset%bs == 0 && uint64(args.Count) <= bs
+
+	// Dirty blocks are always ours to serve.
+	if aligned {
+		if block, ok := p.cache.getBlock(args.FH, bn); ok {
+			if attr, attrOK := p.cache.getAttr(args.FH); attrOK && (p.servable(args.FH) || p.cache.hasDirty(args.FH)) {
+				p.hitLocal()
+				if p.cfg.DiskDelay > 0 {
+					p.clk.Sleep(p.cfg.DiskDelay) // read the block from the disk cache
+				}
+				return encodeReply(call, localReadRes(attr, block, args.Offset, args.Count))
+			}
+		}
+	}
+
+	var res nfs3.ReadRes
+	if _, err := p.callUpstream(nfs3.ProcRead, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.ReadRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.FH)
+	if res.Status == nfs3.OK && res.Attr.Present {
+		if aligned && (uint64(res.Count) == bs || res.EOF) {
+			p.cache.putCleanBlock(args.FH, bn, res.Data, res.Attr.Attr)
+		}
+		p.cache.putAttr(args.FH, res.Attr.Attr)
+	}
+	return encodeReply(call, &res)
+}
+
+// localReadRes builds a READ reply from one cached block.
+func localReadRes(attr nfs3.Fattr, block []byte, offset uint64, count uint32) *nfs3.ReadRes {
+	size := attr.Size
+	if offset >= size {
+		return &nfs3.ReadRes{Status: nfs3.OK, Attr: nfs3.PostOpAttr{Present: true, Attr: attr}, EOF: true}
+	}
+	bo := int(offset % uint64(len(block)))
+	n := int(count)
+	if bo+n > len(block) {
+		n = len(block) - bo
+	}
+	if rem := size - offset; uint64(n) > rem {
+		n = int(rem)
+	}
+	data := make([]byte, n)
+	copy(data, block[bo:bo+n])
+	return &nfs3.ReadRes{
+		Status: nfs3.OK,
+		Attr:   nfs3.PostOpAttr{Present: true, Attr: attr},
+		Count:  uint32(n),
+		EOF:    offset+uint64(n) >= size,
+		Data:   data,
+	}
+}
+
+func (p *ProxyClient) write(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.WriteArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	writeLocal := p.cfg.WriteBack || (p.cfg.Model == ModelDelegation && p.hasWriteDeleg(args.FH))
+	attr, attrOK := p.cache.getAttr(args.FH)
+
+	if writeLocal && attrOK && !p.isNoncacheable(args.FH) {
+		bs := uint64(p.cfg.BlockSize)
+		// Read-modify-write: fetch a partially overwritten block that is
+		// inside the current file but not yet cached.
+		startBn := args.Offset / bs
+		endBn := (args.Offset + uint64(len(args.Data)) - 1) / bs
+		for bn := startBn; len(args.Data) > 0 && bn <= endBn; bn++ {
+			blockStart := bn * bs
+			blockEnd := blockStart + bs
+			coversWhole := args.Offset <= blockStart && args.Offset+uint64(len(args.Data)) >= blockEnd
+			if coversWhole || blockStart >= attr.Size {
+				continue
+			}
+			if _, cached := p.cache.getBlock(args.FH, bn); cached {
+				continue
+			}
+			var rres nfs3.ReadRes
+			rargs := nfs3.ReadArgs{FH: args.FH, Offset: blockStart, Count: uint32(bs)}
+			if _, err := p.callUpstream(nfs3.ProcRead, &rargs, &rres); err != nil || rres.Status != nfs3.OK {
+				writeLocal = false
+				break
+			}
+			p.hitForward()
+			if rres.Attr.Present {
+				p.cache.putCleanBlock(args.FH, bn, rres.Data, rres.Attr.Attr)
+			}
+		}
+		if writeLocal {
+			if p.cfg.DiskDelay > 0 {
+				p.clk.Sleep(p.cfg.DiskDelay) // persist the dirty block to the disk cache
+			}
+			p.cache.writeDirty(args.FH, args.Offset, args.Data)
+			newAttr, _ := p.cache.getAttr(args.FH)
+			p.hitLocal()
+			return encodeReply(call, &nfs3.WriteRes{
+				Status:    nfs3.OK,
+				Wcc:       nfs3.WccData{After: nfs3.PostOpAttr{Present: true, Attr: newAttr}},
+				Count:     uint32(len(args.Data)),
+				Committed: nfs3.FileSync,
+				Verf:      1,
+			})
+		}
+	}
+
+	var res nfs3.WriteRes
+	if _, err := p.callUpstream(nfs3.ProcWrite, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.WriteRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.FH)
+	if res.Status == nfs3.OK && res.Wcc.After.Present {
+		// Reconcile first (recognizing our own mtime advance via the wcc
+		// data), then cache the freshly written block.
+		p.cache.updateAfterWrite(args.FH, res.Wcc)
+		bs := uint64(p.cfg.BlockSize)
+		if args.Offset%bs == 0 && (uint64(len(args.Data)) == bs || args.Offset+uint64(len(args.Data)) >= res.Wcc.After.Attr.Size) {
+			p.cache.putCleanBlock(args.FH, args.Offset/bs, args.Data, res.Wcc.After.Attr)
+		}
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) isNoncacheable(fh nfs3.FH) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.noncacheable[fh.Key()]
+}
+
+func (p *ProxyClient) setattr(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.SetattrArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	p.mapIdentity(&args.Attr)
+	// Truncation invalidates buffered writes beyond the new size; flush
+	// first for simplicity and correctness.
+	if p.cache.hasDirty(args.FH) {
+		p.flushFile(args.FH, 0, false)
+	}
+	var res nfs3.WccRes
+	if _, err := p.callUpstream(nfs3.ProcSetattr, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.WccRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.FH)
+	if res.Status == nfs3.OK && res.Wcc.After.Present {
+		p.cache.putAttr(args.FH, res.Wcc.After.Attr)
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) create(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.CreateArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	p.mapIdentity(&args.Attr)
+	var res nfs3.CreateRes
+	if _, err := p.callUpstream(nfs3.ProcCreate, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.CreateRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	if res.Status == nfs3.OK && res.FHFollows && args.Mode == nfs3.CreateUnchecked {
+		// An unchecked create truncates an existing file: any dirty data
+		// buffered for the old contents is gone by definition.
+		p.cache.dropDirty(res.FH)
+	}
+	p.afterCreateLike(args.Where, &res)
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) mkdir(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.MkdirArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	p.mapIdentity(&args.Attr)
+	var res nfs3.CreateRes
+	if _, err := p.callUpstream(nfs3.ProcMkdir, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.CreateRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.afterCreateLike(args.Where, &res)
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) symlink(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.SymlinkArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	p.mapIdentity(&args.Attr)
+	var res nfs3.CreateRes
+	if _, err := p.callUpstream(nfs3.ProcSymlink, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.CreateRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.afterCreateLike(args.Where, &res)
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) afterCreateLike(where nfs3.DirOpArgs, res *nfs3.CreateRes) {
+	p.noteForward(where.Dir)
+	if res.DirWcc.After.Present {
+		p.cache.putAttr(where.Dir, res.DirWcc.After.Attr)
+	}
+	if res.Status == nfs3.OK && res.FHFollows {
+		if res.Attr.Present {
+			p.cache.putAttr(res.FH, res.Attr.Attr)
+		}
+		p.cache.putLookup(where.Dir, where.Name, res.FH)
+	}
+}
+
+func (p *ProxyClient) unlink(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.DirOpArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	// Abandon buffered dirty data for the victim: it is being deleted.
+	if childFH, negative, ok := p.cache.getLookup(args.Dir, args.Name); ok && !negative {
+		p.cache.dropDirty(childFH)
+	}
+	var res nfs3.WccRes
+	if _, err := p.callUpstream(call.Proc, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.WccRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.Dir)
+	p.cache.dropLookup(args.Dir, args.Name)
+	if res.Wcc.After.Present {
+		p.cache.putAttr(args.Dir, res.Wcc.After.Attr)
+		if res.Status == nfs3.OK {
+			// The name is now known absent.
+			p.cache.putNegLookup(args.Dir, args.Name)
+		}
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) rename(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.RenameArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	var res nfs3.RenameRes
+	if _, err := p.callUpstream(nfs3.ProcRename, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.RenameRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.From.Dir)
+	p.noteForward(args.To.Dir)
+	p.cache.dropLookup(args.From.Dir, args.From.Name)
+	p.cache.dropLookup(args.To.Dir, args.To.Name)
+	if res.FromWcc.After.Present {
+		p.cache.putAttr(args.From.Dir, res.FromWcc.After.Attr)
+	}
+	if res.ToWcc.After.Present {
+		p.cache.putAttr(args.To.Dir, res.ToWcc.After.Attr)
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) linkProc(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.LinkArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	var res nfs3.LinkRes
+	if _, err := p.callUpstream(nfs3.ProcLink, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.LinkRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.FH)
+	p.noteForward(args.Link.Dir)
+	if res.Attr.Present {
+		p.cache.putAttr(args.FH, res.Attr.Attr)
+	}
+	if res.LinkWcc.After.Present {
+		p.cache.putAttr(args.Link.Dir, res.LinkWcc.After.Attr)
+	}
+	if res.Status == nfs3.OK {
+		p.cache.putLookup(args.Link.Dir, args.Link.Name, args.FH)
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) readdir(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.ReaddirArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	// Serve complete cached listings that fit one reply; pagination always
+	// forwards, since upstream cookies are opaque to us.
+	if args.Cookie == 0 && p.servable(args.Dir) {
+		if entries, ok := p.cache.getDirListing(args.Dir); ok {
+			if dirAttr, ok2 := p.cache.getAttr(args.Dir); ok2 && listingFits(entries, args.Count) {
+				p.hitLocal()
+				return encodeReply(call, &nfs3.ReaddirRes{
+					Status:     nfs3.OK,
+					DirAttr:    nfs3.PostOpAttr{Present: true, Attr: dirAttr},
+					CookieVerf: 1,
+					Entries:    entries,
+					EOF:        true,
+				})
+			}
+		}
+	}
+	var res nfs3.ReaddirRes
+	if _, err := p.callUpstream(nfs3.ProcReaddir, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.ReaddirRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.Dir)
+	if res.DirAttr.Present {
+		p.cache.putAttr(args.Dir, res.DirAttr.Attr)
+	}
+	// A single-page complete listing is cacheable; multi-page listings are
+	// not worth stitching.
+	if res.Status == nfs3.OK && res.EOF && args.Cookie == 0 {
+		p.cache.putDirListing(args.Dir, res.Entries)
+	}
+	return encodeReply(call, &res)
+}
+
+// listingFits reports whether entries encode within a READDIR count budget,
+// using the same per-entry cost model as the NFS server.
+func listingFits(entries []nfs3.DirEntry, count uint32) bool {
+	budget := int(count)
+	for i := range entries {
+		budget -= 16 + len(entries[i].Name) + 8
+	}
+	return budget >= 0
+}
+
+func (p *ProxyClient) readdirplus(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.ReaddirplusArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	var res nfs3.ReaddirplusRes
+	if _, err := p.callUpstream(nfs3.ProcReaddirplus, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.ReaddirplusRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	p.noteForward(args.Dir)
+	if res.DirAttr.Present {
+		p.cache.putAttr(args.Dir, res.DirAttr.Attr)
+	}
+	// Entry attributes and handles are a free prefetch into the disk cache.
+	for i := range res.Entries {
+		ent := &res.Entries[i]
+		if ent.FHFollows && ent.Attr.Present {
+			p.cache.putAttr(ent.FH, ent.Attr.Attr)
+			p.cache.putLookup(args.Dir, ent.Name, ent.FH)
+		}
+	}
+	return encodeReply(call, &res)
+}
+
+func (p *ProxyClient) commit(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.CommitArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	if p.cache.hasDirty(args.FH) {
+		p.flushFile(args.FH, 0, false)
+	}
+	var res nfs3.CommitRes
+	if _, err := p.callUpstream(nfs3.ProcCommit, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.CommitRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward()
+	return encodeReply(call, &res)
+}
+
+// passthrough forwards a call without caching semantics.
+func (p *ProxyClient) passthrough(call *sunrpc.Call) sunrpc.AcceptStat {
+	raw, err := p.rawCall(nfs3.Program, nfs3.Version, call.Proc, remainingBytes(call.Args))
+	if err != nil {
+		return sunrpc.SystemErr
+	}
+	p.hitForward()
+	call.Reply.FixedOpaque(remainingBytes(raw))
+	return sunrpc.Success
+}
+
+// --- callback service (proxy server -> proxy client) ------------------------
+
+func (p *ProxyClient) dispatchCallback(call *sunrpc.Call) sunrpc.AcceptStat {
+	switch call.Proc {
+	case ProcRecall:
+		return p.handleRecall(call)
+	case ProcRecallAll:
+		return p.handleRecallAll(call)
+	default:
+		return sunrpc.ProcUnavail
+	}
+}
+
+// handleRecall serves a delegation recall (Section 4.3.2). Read recalls
+// invalidate cached attributes; write recalls additionally force write-back
+// of dirty data, with the pending-list optimization for large dirty sets.
+func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args RecallArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	p.mu.Lock()
+	p.stats.Recalls++
+	delete(p.delegs, args.FH.Key())
+	if args.Seq > p.recallFence[args.FH.Key()] {
+		p.recallFence[args.FH.Key()] = args.Seq
+	}
+	p.mu.Unlock()
+	p.cache.invalidateAttr(args.FH)
+	if args.Name != "" {
+		// The recall was triggered by an operation removing or replacing
+		// this entry of the (directory) handle: the binding must go.
+		p.cache.dropLookup(args.FH, args.Name)
+	}
+
+	res := RecallRes{Status: nfs3.OK}
+	dirty := p.cache.dirtyBlocks(args.FH)
+	if len(dirty) > 0 {
+		bs := uint64(p.cfg.BlockSize)
+		if len(dirty) > p.cfg.DirtyListThreshold {
+			// Large dirty set: write the contended block back now, report
+			// the rest as pending, and flush them in the background. The
+			// highest dirty block is also submitted inline so the server's
+			// file size reflects the buffered writes — other clients stat
+			// the file before reading it.
+			p.flushBlock(args.FH, dirty[len(dirty)-1])
+			if args.HasOffset {
+				p.flushBlock(args.FH, args.Offset/bs)
+			}
+			for _, bn := range p.cache.dirtyBlocks(args.FH) {
+				res.Pending = append(res.Pending, bn*bs)
+			}
+			fh := args.FH
+			p.clk.Go("gvfs-recall-flush", func() { p.flushFile(fh, 0, false) })
+		} else {
+			for _, bn := range dirty {
+				p.flushBlock(args.FH, bn)
+			}
+		}
+	}
+	return encodeReply(call, &res)
+}
+
+// handleRecallAll answers a whole-cache callback during server state
+// reconstruction (Section 4.3.4): invalidate all cached attributes and
+// report which files hold locally modified data.
+func (p *ProxyClient) handleRecallAll(call *sunrpc.Call) sunrpc.AcceptStat {
+	p.cache.invalidateAllAttrs()
+	p.mu.Lock()
+	p.stats.Recalls++
+	dirty := p.cache.dirtyFiles()
+	// Delegations are void (the server lost its state); write delegations
+	// on dirty files are re-established by the server's rebuild.
+	p.delegs = make(map[string]DelegType)
+	for _, fh := range dirty {
+		p.delegs[fh.Key()] = DelegWrite
+	}
+	p.mu.Unlock()
+	res := RecallAllRes{DirtyFiles: dirty}
+	return encodeReply(call, &res)
+}

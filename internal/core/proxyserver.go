@@ -1,0 +1,537 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/nfs3"
+	"repro/internal/sunrpc"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/xdr"
+)
+
+// ClientRecord identifies a session participant: its ID and the address the
+// server can call back. The record list is the state the paper stores
+// "directly in disk" so a restarted server can reconstruct the session
+// (Section 4.3.4).
+type ClientRecord struct {
+	ID           string
+	CallbackAddr string
+}
+
+// StateStore persists the client list across proxy-server restarts.
+type StateStore interface {
+	SaveClients([]ClientRecord)
+	LoadClients() []ClientRecord
+}
+
+// MemStateStore is an in-process StateStore, standing in for the proxy
+// server's on-disk state file.
+type MemStateStore struct {
+	mu      sync.Mutex
+	clients []ClientRecord
+}
+
+// SaveClients records the client list.
+func (m *MemStateStore) SaveClients(cs []ClientRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clients = append([]ClientRecord(nil), cs...)
+}
+
+// LoadClients returns the recorded client list.
+func (m *MemStateStore) LoadClients() []ClientRecord {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]ClientRecord(nil), m.clients...)
+}
+
+// Dialer opens a connection to a callback address; it is how the proxy
+// server reaches back across the wide area to its clients.
+type Dialer func(addr string) (transport.Conn, error)
+
+// ProxyServerStats counts server-side protocol activity.
+type ProxyServerStats struct {
+	// GetInvServed counts GETINV calls answered.
+	GetInvServed int64
+	// ForceReplies counts GETINV replies carrying force-invalidate.
+	ForceReplies int64
+	// InvalidationsQueued counts invalidation entries added to buffers.
+	InvalidationsQueued int64
+	// CallbacksSent counts recall RPCs issued.
+	CallbacksSent int64
+	// Forwards counts NFS calls forwarded to the kernel NFS server.
+	Forwards int64
+}
+
+// ProxyServer is the GVFS user-level proxy in front of the kernel NFS
+// server. It forwards NFS traffic upstream, tracks modifications in
+// per-client invalidation buffers (polling model), and runs the
+// delegation/callback state machine (strong model).
+type ProxyServer struct {
+	clk  *vclock.Clock
+	cfg  Config
+	up   *sunrpc.Client
+	srv  *sunrpc.Server
+	dial Dialer
+
+	mu       sync.Mutex
+	clients  map[string]*clientState
+	invTS    uint64
+	files    map[string]*fileState
+	grace    bool
+	grantSeq uint64
+	graceW   []*vclock.Waiter
+	store    StateStore
+	stats    ProxyServerStats
+	stopped  bool
+	lruClock uint64
+}
+
+type clientState struct {
+	rec ClientRecord
+	cb  *sunrpc.Client
+	buf *invBuffer
+}
+
+type fileState struct {
+	fh      nfs3.FH
+	sharers map[string]*sharer
+	touched uint64 // lruClock stamp for proactive state eviction
+}
+
+type sharer struct {
+	deleg      DelegType
+	mode       DelegType // highest access mode observed (read or write)
+	lastAccess time.Duration
+	pending    map[uint64]bool // dirty byte offsets awaiting write-back
+	// grantSeq is the fence stamp of the latest grant to this sharer.
+	grantSeq uint64
+}
+
+// NewProxyServer wraps an upstream connection to the kernel NFS server.
+// dial is used for callback connections; store persists the client list
+// (pass a fresh MemStateStore for a new session, or the old one to model a
+// restart).
+func NewProxyServer(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, dial Dialer, store StateStore) *ProxyServer {
+	cfg = cfg.withDefaults()
+	s := &ProxyServer{
+		clk:     clk,
+		cfg:     cfg,
+		up:      upstream,
+		srv:     sunrpc.NewServer(clk),
+		dial:    dial,
+		clients: make(map[string]*clientState),
+		files:   make(map[string]*fileState),
+		store:   store,
+	}
+	s.srv.Register(nfs3.Program, nfs3.Version, s.dispatchNFS)
+	s.srv.Register(nfs3.MountProgram, nfs3.MountVersion, s.forwardRaw(nfs3.MountProgram, nfs3.MountVersion))
+	s.srv.Register(InvProgram, InvVersion, s.dispatchInv)
+	return s
+}
+
+// Serve begins accepting proxy-client connections. If the state store holds
+// client records (server restart), incoming requests block for a grace
+// period while the session state is reconstructed via whole-cache callbacks
+// (Section 4.3.4).
+func (s *ProxyServer) Serve(l transport.Listener) {
+	recovered := s.store.LoadClients()
+	if len(recovered) > 0 {
+		s.mu.Lock()
+		s.grace = true
+		for _, rec := range recovered {
+			s.clients[rec.ID] = &clientState{rec: rec, buf: newInvBuffer(s.cfg.InvBufferEntries)}
+		}
+		s.mu.Unlock()
+		s.clk.Go("gvfs-recover", s.recover)
+	}
+	s.srv.Serve(l)
+	if s.cfg.Model == ModelDelegation {
+		s.clk.GoDaemon("gvfs-expiry", s.expiryLoop)
+	}
+}
+
+// Stop shuts the proxy server down.
+func (s *ProxyServer) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	cbs := make([]*sunrpc.Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		if c.cb != nil {
+			cbs = append(cbs, c.cb)
+		}
+	}
+	s.mu.Unlock()
+	for _, cb := range cbs {
+		cb.Close()
+	}
+	s.srv.Close()
+	s.up.Close()
+}
+
+// Stats returns a snapshot of server counters.
+func (s *ProxyServer) Stats() ProxyServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// StateSize reports the delegation table's size (files, sharer entries).
+func (s *ProxyServer) StateSize() (files, sharers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	files = len(s.files)
+	for _, f := range s.files {
+		sharers += len(f.sharers)
+	}
+	return files, sharers
+}
+
+// recover reconstructs session state after a restart: one multicast round of
+// whole-cache callbacks; clients holding dirty data are re-granted write
+// delegations so they can reconcile.
+func (s *ProxyServer) recover() {
+	s.mu.Lock()
+	clients := make([]*clientState, 0, len(s.clients))
+	for _, c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+
+	for _, c := range clients {
+		res, err := s.callbackRecallAll(c)
+		if err != nil {
+			// Client unreachable: drop it from the session.
+			s.mu.Lock()
+			delete(s.clients, c.rec.ID)
+			s.mu.Unlock()
+			continue
+		}
+		now := s.clk.Now()
+		s.mu.Lock()
+		for _, fh := range res.DirtyFiles {
+			fs := s.fileForLocked(fh)
+			fs.sharers[c.rec.ID] = &sharer{deleg: DelegWrite, mode: DelegWrite, lastAccess: now}
+		}
+		s.mu.Unlock()
+	}
+	s.persistClients()
+
+	s.mu.Lock()
+	s.grace = false
+	ws := s.graceW
+	s.graceW = nil
+	s.mu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+func (s *ProxyServer) waitGrace() {
+	s.mu.Lock()
+	if !s.grace {
+		s.mu.Unlock()
+		return
+	}
+	w := s.clk.NewWaiter()
+	s.graceW = append(s.graceW, w)
+	s.mu.Unlock()
+	s.clk.WaitAs(w, "gvfs-grace")
+}
+
+// expiryLoop speculates files closed after DelegExpiry of inactivity,
+// recalling any delegation still held (Section 4.3.3), and proactively
+// evicts least recently touched state beyond MaxOpenFiles.
+func (s *ProxyServer) expiryLoop() {
+	period := s.cfg.DelegExpiry / 4
+	if period <= 0 {
+		period = time.Minute
+	}
+	for {
+		s.clk.Sleep(period)
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		now := s.clk.Now()
+		type recall struct {
+			c   *clientState
+			fh  nfs3.FH
+			t   DelegType
+			seq uint64
+		}
+		var recalls []recall
+		for key, fs := range s.files {
+			for id, sh := range fs.sharers {
+				if now-sh.lastAccess > s.cfg.DelegExpiry {
+					if sh.deleg != DelegNone {
+						if c := s.clients[id]; c != nil {
+							s.grantSeq++
+							recalls = append(recalls, recall{c: c, fh: fs.fh, t: sh.deleg, seq: s.grantSeq})
+						}
+					}
+					delete(fs.sharers, id)
+				}
+			}
+			if len(fs.sharers) == 0 {
+				delete(s.files, key)
+			}
+		}
+		// Proactive LRU eviction of excess state.
+		for len(s.files) > s.cfg.MaxOpenFiles {
+			var oldestKey string
+			var oldest uint64
+			first := true
+			for key, fs := range s.files {
+				if first || fs.touched < oldest {
+					oldestKey, oldest, first = key, fs.touched, false
+				}
+			}
+			fs := s.files[oldestKey]
+			for id, sh := range fs.sharers {
+				if sh.deleg != DelegNone {
+					if c := s.clients[id]; c != nil {
+						s.grantSeq++
+						recalls = append(recalls, recall{c: c, fh: fs.fh, t: sh.deleg, seq: s.grantSeq})
+					}
+				}
+			}
+			delete(s.files, oldestKey)
+		}
+		s.mu.Unlock()
+		for _, r := range recalls {
+			s.callbackRecall(r.c, RecallArgs{FH: r.fh, Deleg: r.t, Seq: r.seq})
+		}
+	}
+}
+
+// --- client registry ------------------------------------------------------
+
+func (s *ProxyServer) ensureClient(cred sunrpc.Cred) *clientState {
+	rec := ClientRecord{ID: "anonymous"}
+	if sc, err := DecodeSessionCred(cred); err == nil {
+		rec = ClientRecord{ID: sc.ClientID, CallbackAddr: sc.CallbackAddr}
+	}
+	s.mu.Lock()
+	c, ok := s.clients[rec.ID]
+	if !ok {
+		c = &clientState{rec: rec, buf: newInvBuffer(s.cfg.InvBufferEntries)}
+		s.clients[rec.ID] = c
+		s.mu.Unlock()
+		s.persistClients()
+		return c
+	}
+	if rec.CallbackAddr != "" && rec.CallbackAddr != c.rec.CallbackAddr {
+		c.rec.CallbackAddr = rec.CallbackAddr
+		c.cb = nil
+	}
+	s.mu.Unlock()
+	return c
+}
+
+func (s *ProxyServer) persistClients() {
+	s.mu.Lock()
+	recs := make([]ClientRecord, 0, len(s.clients))
+	for _, c := range s.clients {
+		recs = append(recs, c.rec)
+	}
+	s.mu.Unlock()
+	s.store.SaveClients(recs)
+}
+
+// callbackClient lazily dials the client's callback service.
+func (s *ProxyServer) callbackClient(c *clientState) (*sunrpc.Client, error) {
+	s.mu.Lock()
+	if c.cb != nil {
+		cb := c.cb
+		s.mu.Unlock()
+		return cb, nil
+	}
+	addr := c.rec.CallbackAddr
+	s.mu.Unlock()
+	conn, err := s.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cb := sunrpc.NewClient(s.clk, conn, sunrpc.NoneCred())
+	s.mu.Lock()
+	if c.cb == nil {
+		c.cb = cb
+	} else {
+		cb.Close()
+		cb = c.cb
+	}
+	s.mu.Unlock()
+	return cb, nil
+}
+
+// callbackRecall issues one recall RPC; failures drop the client's
+// delegation state (the client is presumed dead — its soft state is safe to
+// discard, and NFS retries recover the rest).
+func (s *ProxyServer) callbackRecall(c *clientState, args RecallArgs) *RecallRes {
+	s.mu.Lock()
+	s.stats.CallbacksSent++
+	s.mu.Unlock()
+	cb, err := s.callbackClient(c)
+	if err != nil {
+		return nil
+	}
+	e := xdr.NewEncoder()
+	args.Encode(e)
+	d, err := cb.CallTimeout(CallbackProgram, CallbackVersion, ProcRecall, e.Bytes(), s.cfg.CallTimeout)
+	if err != nil {
+		return nil
+	}
+	var res RecallRes
+	if res.Decode(d) != nil {
+		return nil
+	}
+	return &res
+}
+
+func (s *ProxyServer) callbackRecallAll(c *clientState) (*RecallAllRes, error) {
+	s.mu.Lock()
+	s.stats.CallbacksSent++
+	s.mu.Unlock()
+	cb, err := s.callbackClient(c)
+	if err != nil {
+		return nil, err
+	}
+	d, err := cb.CallTimeout(CallbackProgram, CallbackVersion, ProcRecallAll, nil, s.cfg.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var res RecallAllRes
+	if err := res.Decode(d); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// --- invalidation buffers (Section 4.2) ------------------------------------
+
+type invBuffer struct {
+	max        int
+	order      []string // FH keys, oldest first
+	member     map[string]bool
+	overflowed bool
+	// lastSentTS is the timestamp returned by the previous GETINV reply;
+	// the client must echo it to prove it is in sync.
+	lastSentTS   uint64
+	bootstrapped bool
+}
+
+func newInvBuffer(max int) *invBuffer {
+	return &invBuffer{max: max, member: make(map[string]bool)}
+}
+
+// add records an invalidation, coalescing duplicates and wrapping the
+// circular queue on overflow.
+func (b *invBuffer) add(key string) {
+	if b.member[key] {
+		// Coalesce: move to the back (most recent).
+		for i, k := range b.order {
+			if k == key {
+				b.order = append(b.order[:i], b.order[i+1:]...)
+				break
+			}
+		}
+		b.order = append(b.order, key)
+		return
+	}
+	if len(b.order) >= b.max {
+		// Circular queue wrap-around: the oldest entry is lost and the
+		// client must be force-invalidated.
+		oldest := b.order[0]
+		b.order = b.order[1:]
+		delete(b.member, oldest)
+		b.overflowed = true
+	}
+	b.member[key] = true
+	b.order = append(b.order, key)
+}
+
+func (b *invBuffer) flush() {
+	b.order = nil
+	b.member = make(map[string]bool)
+	b.overflowed = false
+}
+
+// dispatchInv serves the GETINV program (server-side algorithm of Section
+// 4.2.1).
+func (s *ProxyServer) dispatchInv(call *sunrpc.Call) sunrpc.AcceptStat {
+	if call.Proc != ProcGetInv {
+		return sunrpc.ProcUnavail
+	}
+	var args GetInvArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	c := s.ensureClient(call.Cred)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.GetInvServed++
+	b := c.buf
+	res := GetInvRes{Timestamp: s.invTS}
+
+	switch {
+	case !b.bootstrapped:
+		// 1) First GETINV from this client (or after a server restart):
+		// initialize the buffer and force-invalidate.
+		b.bootstrapped = true
+		b.flush()
+		res.ForceInvalidate = true
+		s.stats.ForceReplies++
+	case args.Timestamp != b.lastSentTS || b.overflowed:
+		// 2) The client has not kept up (crash, lost reply, or buffer
+		// wrap-around): flush and force-invalidate.
+		b.flush()
+		res.ForceInvalidate = true
+		s.stats.ForceReplies++
+	default:
+		// 3) Return buffer contents (bounded by one reply) and clear them.
+		n := len(b.order)
+		if max := int(args.MaxHandles); max > 0 && n > max {
+			n = max
+			res.PollAgain = true
+		}
+		for _, key := range b.order[:n] {
+			if fh, err := nfs3.FHFromBytes([]byte(key)); err == nil {
+				res.Handles = append(res.Handles, fh)
+			}
+			delete(b.member, key)
+		}
+		b.order = b.order[n:]
+	}
+	b.lastSentTS = s.invTS
+	res.Timestamp = s.invTS
+	return encodeReply(call, &res)
+}
+
+// queueInvalidations records modified handles in every other client's
+// buffer with a fresh logical timestamp.
+func (s *ProxyServer) queueInvalidations(from string, fhs []nfs3.FH) {
+	if len(fhs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invTS++
+	for id, c := range s.clients {
+		if id == from {
+			continue
+		}
+		for _, fh := range fhs {
+			c.buf.add(fh.Key())
+			s.stats.InvalidationsQueued++
+		}
+	}
+}

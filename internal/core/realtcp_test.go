@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memfs"
+	"repro/internal/nfscall"
+	"repro/internal/nfsclient"
+	"repro/internal/nfsserver"
+	"repro/internal/sunrpc"
+	"repro/internal/tcpnet"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// TestFullChainOverRealTCP wires the complete GVFS chain — kernel client ->
+// proxy client -> proxy server -> NFS server — over real TCP sockets with
+// the real clock, the deployment shape of the cmd/ daemons. It proves the
+// protocol stack is not simulator-only.
+func TestFullChainOverRealTCP(t *testing.T) {
+	clk := vclock.NewReal()
+	var tn tcpnet.Net
+
+	// NFS server.
+	fs := memfs.New(clk.Now)
+	if _, err := fs.WriteFile("exported/hello.txt", []byte("over real sockets")); err != nil {
+		t.Fatal(err)
+	}
+	nfsSrv := nfsserver.New(fs, 1)
+	nfsRPC := sunrpc.NewServer(clk)
+	nfsSrv.Register(nfsRPC)
+	nfsL, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nfsRPC.Close()
+	nfsRPC.Serve(nfsL)
+
+	// Proxy server fronting it.
+	upConn, err := tn.Dial(nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Model: core.ModelPolling, PollPeriod: time.Second}
+	proxySrv := core.NewProxyServer(clk, cfg,
+		sunrpc.NewClient(clk, upConn, sunrpc.SysCred("proxyd", 0, 0)),
+		func(addr string) (transport.Conn, error) { return tn.Dial(addr) },
+		&core.MemStateStore{})
+	psL, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxySrv.Stop()
+	proxySrv.Serve(psL)
+
+	// Proxy client on the "client machine".
+	pcUp, err := tn.Dial(psL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbL, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred := core.SessionCred{SessionKey: "tcp-test", ClientID: "tcp-client", CallbackAddr: cbL.Addr()}
+	proxy := core.NewProxyClient(clk, cfg, sunrpc.NewClient(clk, pcUp, sunrpc.NoneCred()), cred)
+	localL, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Stop()
+	proxy.Serve(localL, cbL)
+
+	// Kernel client mounting through the proxy.
+	kConn, err := tn.Dial(localL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := nfscall.New(sunrpc.NewClient(clk, kConn, sunrpc.SysCred("workstation", 0, 0)))
+	defer nc.Close()
+	root, err := nc.Mount("/export")
+	if err != nil {
+		t.Fatalf("mount through proxy chain: %v", err)
+	}
+	kc := nfsclient.New(clk, nc, root, nfsclient.Options{})
+
+	// Read through the whole chain.
+	got, err := kc.ReadFile("exported/hello.txt")
+	if err != nil || string(got) != "over real sockets" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+
+	// Write through it and verify server-side.
+	payload := bytes.Repeat([]byte("tcp"), 30_000)
+	if err := kc.WriteFile("exported/out.bin", payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	attr, err := fs.LookupPath("exported/out.bin")
+	if err != nil || attr.Size != uint64(len(payload)) {
+		t.Fatalf("server-side size = %d, %v", attr.Size, err)
+	}
+
+	// Repeated stats are absorbed by the proxy's cache, over real TCP too.
+	kc.Stat("exported/hello.txt")
+	before := proxy.UpstreamCounts()
+	for i := 0; i < 25; i++ {
+		// noac-free kernel cache could absorb; force traffic to the proxy
+		// by statting many distinct cold paths once, then re-statting.
+		if _, err := kc.Stat("exported/hello.txt"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := proxy.UpstreamCounts()
+	var grew int64
+	for k, v := range after {
+		grew += v - before[k]
+	}
+	if grew > 2 {
+		t.Fatalf("25 warm stats leaked %d upstream RPCs over TCP", grew)
+	}
+
+	// Namespace operations through the chain.
+	if err := kc.Mkdir("exported/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := kc.WriteFile(fmt.Sprintf("exported/dir/f%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := kc.ReadDir("exported/dir")
+	if err != nil || len(names) != 10 {
+		t.Fatalf("readdir = %d entries, %v", len(names), err)
+	}
+}
+
+// TestInvalidationOverRealTCP runs the invalidation-polling protocol between
+// two proxy clients and one proxy server over real sockets with the real
+// clock: an update by one client must reach the other through GETINV within
+// its (short) polling window.
+func TestInvalidationOverRealTCP(t *testing.T) {
+	clk := vclock.NewReal()
+	var tn tcpnet.Net
+
+	fs := memfs.New(clk.Now)
+	fs.WriteFile("shared/doc", []byte("v1"))
+	nfsSrv := nfsserver.New(fs, 1)
+	nfsRPC := sunrpc.NewServer(clk)
+	nfsSrv.Register(nfsRPC)
+	nfsL, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nfsRPC.Close()
+	nfsRPC.Serve(nfsL)
+
+	cfg := core.Config{Model: core.ModelPolling, PollPeriod: 50 * time.Millisecond}
+	upConn, err := tn.Dial(nfsL.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := core.NewProxyServer(clk, cfg,
+		sunrpc.NewClient(clk, upConn, sunrpc.SysCred("proxyd", 0, 0)),
+		func(addr string) (transport.Conn, error) { return tn.Dial(addr) },
+		&core.MemStateStore{})
+	psL, err := tn.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxySrv.Stop()
+	proxySrv.Serve(psL)
+
+	mountClient := func(id string) (*nfsclient.Client, *core.ProxyClient) {
+		t.Helper()
+		pcUp, err := tn.Dial(psL.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cbL, err := tn.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cred := core.SessionCred{SessionKey: "tcp", ClientID: id, CallbackAddr: cbL.Addr()}
+		proxy := core.NewProxyClient(clk, cfg, sunrpc.NewClient(clk, pcUp, sunrpc.NoneCred()), cred)
+		localL, err := tn.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(proxy.Stop)
+		proxy.Serve(localL, cbL)
+		kConn, err := tn.Dial(localL.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := nfscall.New(sunrpc.NewClient(clk, kConn, sunrpc.SysCred(id, 0, 0)))
+		t.Cleanup(func() { nc.Close() })
+		root, err := nc.Mount("/export")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nfsclient.New(clk, nc, root, nfsclient.Options{NoAC: true}), proxy
+	}
+
+	reader, readerProxy := mountClient("tcp-reader")
+	writer, _ := mountClient("tcp-writer")
+
+	if got, err := reader.ReadFile("shared/doc"); err != nil || string(got) != "v1" {
+		t.Fatalf("read v1 = %q, %v", got, err)
+	}
+	if err := writer.WriteFile("shared/doc", []byte("v2")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Within a few polling windows the reader's proxy must invalidate and
+	// serve the fresh version.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := reader.ReadFile("shared/doc")
+		if err == nil && string(got) == "v2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reader still stale after 5s: %q, %v", got, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if readerProxy.Stats().Invalidations == 0 && readerProxy.Stats().ForceInvalidations == 0 {
+		t.Error("no invalidations processed over TCP")
+	}
+}

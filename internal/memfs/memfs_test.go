@@ -1,0 +1,440 @@
+package memfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newFS() *FS {
+	var t time.Duration
+	return New(func() time.Duration { t += time.Millisecond; return t })
+}
+
+func TestCreateLookupReadWrite(t *testing.T) {
+	fs := newFS()
+	attr, err := fs.Create(fs.Root(), "hello.txt", 0o644, false)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if attr.Type != TypeFile || attr.Size != 0 || attr.Nlink != 1 {
+		t.Fatalf("attr = %+v", attr)
+	}
+	if _, err := fs.WriteAt(attr.ID, []byte("hello world"), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := fs.Lookup(fs.Root(), "hello.txt")
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if got.ID != attr.ID || got.Size != 11 {
+		t.Fatalf("lookup attr = %+v", got)
+	}
+	buf := make([]byte, 64)
+	n, eof, err := fs.ReadAt(attr.ID, buf, 0)
+	if err != nil || !eof || string(buf[:n]) != "hello world" {
+		t.Fatalf("read = %q eof=%v err=%v", buf[:n], eof, err)
+	}
+	n, eof, err = fs.ReadAt(attr.ID, buf[:5], 6)
+	if err != nil || string(buf[:n]) != "world" {
+		t.Fatalf("offset read = %q err=%v", buf[:n], err)
+	}
+	_ = eof
+}
+
+func TestWriteExtendsAndOverwrites(t *testing.T) {
+	fs := newFS()
+	attr, _ := fs.Create(fs.Root(), "f", 0o644, false)
+	fs.WriteAt(attr.ID, []byte("aaaa"), 0)
+	fs.WriteAt(attr.ID, []byte("bb"), 8) // hole from 4..8
+	a, _ := fs.Stat(attr.ID)
+	if a.Size != 10 {
+		t.Fatalf("size = %d, want 10", a.Size)
+	}
+	buf := make([]byte, 10)
+	fs.ReadAt(attr.ID, buf, 0)
+	want := []byte{'a', 'a', 'a', 'a', 0, 0, 0, 0, 'b', 'b'}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("data = %v, want %v", buf, want)
+	}
+}
+
+func TestChangeCounterAdvancesOnModification(t *testing.T) {
+	fs := newFS()
+	attr, _ := fs.Create(fs.Root(), "f", 0o644, false)
+	before, _ := fs.Stat(attr.ID)
+	fs.WriteAt(attr.ID, []byte("x"), 0)
+	after, _ := fs.Stat(attr.ID)
+	if after.Change <= before.Change {
+		t.Fatal("change counter did not advance on write")
+	}
+	if after.Mtime <= before.Mtime {
+		t.Fatal("mtime did not advance on write")
+	}
+	// Reads must not bump the change counter.
+	buf := make([]byte, 1)
+	fs.ReadAt(attr.ID, buf, 0)
+	again, _ := fs.Stat(attr.ID)
+	if again.Change != after.Change {
+		t.Fatal("change counter advanced on read")
+	}
+}
+
+func TestCreateExclusive(t *testing.T) {
+	fs := newFS()
+	if _, err := fs.Create(fs.Root(), "lock", 0o644, true); err != nil {
+		t.Fatalf("first exclusive create: %v", err)
+	}
+	if _, err := fs.Create(fs.Root(), "lock", 0o644, true); !errors.Is(err, ErrExist) {
+		t.Fatalf("second exclusive create err = %v, want ErrExist", err)
+	}
+	// Unchecked create truncates.
+	attr, _ := fs.Create(fs.Root(), "data", 0o644, false)
+	fs.WriteAt(attr.ID, []byte("content"), 0)
+	attr2, err := fs.Create(fs.Root(), "data", 0o644, false)
+	if err != nil {
+		t.Fatalf("unchecked create over existing: %v", err)
+	}
+	if attr2.ID != attr.ID || attr2.Size != 0 {
+		t.Fatalf("unchecked create = %+v, want same inode truncated", attr2)
+	}
+}
+
+func TestHardLinkSemantics(t *testing.T) {
+	fs := newFS()
+	attr, _ := fs.Create(fs.Root(), "orig", 0o644, false)
+	fs.WriteAt(attr.ID, []byte("shared"), 0)
+
+	linked, err := fs.Link(fs.Root(), "alias", attr.ID)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if linked.ID != attr.ID || linked.Nlink != 2 {
+		t.Fatalf("link attr = %+v, want same inode nlink=2", linked)
+	}
+	// Link to an existing name must fail atomically — the lock primitive.
+	if _, err := fs.Link(fs.Root(), "alias", attr.ID); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate link err = %v, want ErrExist", err)
+	}
+	// Data visible through both names.
+	a, _ := fs.Lookup(fs.Root(), "alias")
+	buf := make([]byte, 6)
+	n, _, _ := fs.ReadAt(a.ID, buf, 0)
+	if string(buf[:n]) != "shared" {
+		t.Fatalf("read via alias = %q", buf[:n])
+	}
+	// Removing one name keeps the inode alive.
+	if err := fs.Remove(fs.Root(), "orig"); err != nil {
+		t.Fatalf("remove orig: %v", err)
+	}
+	st, err := fs.Stat(attr.ID)
+	if err != nil || st.Nlink != 1 {
+		t.Fatalf("after remove: %+v, %v", st, err)
+	}
+	// Removing the last name frees it.
+	fs.Remove(fs.Root(), "alias")
+	if _, err := fs.Stat(attr.ID); !errors.Is(err, ErrStale) {
+		t.Fatalf("stat after last unlink err = %v, want ErrStale", err)
+	}
+}
+
+func TestMkdirRmdir(t *testing.T) {
+	fs := newFS()
+	d, err := fs.Mkdir(fs.Root(), "sub", 0o755)
+	if err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if d.Type != TypeDir || d.Nlink != 2 {
+		t.Fatalf("dir attr = %+v", d)
+	}
+	root, _ := fs.Stat(fs.Root())
+	if root.Nlink != 3 {
+		t.Fatalf("root nlink = %d, want 3", root.Nlink)
+	}
+	fs.Create(d.ID, "f", 0o644, false)
+	if err := fs.Rmdir(fs.Root(), "sub"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty err = %v", err)
+	}
+	fs.Remove(d.ID, "f")
+	if err := fs.Rmdir(fs.Root(), "sub"); err != nil {
+		t.Fatalf("rmdir: %v", err)
+	}
+	if _, err := fs.Lookup(fs.Root(), "sub"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("lookup removed dir err = %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := newFS()
+	a, _ := fs.Create(fs.Root(), "a", 0o644, false)
+	fs.WriteAt(a.ID, []byte("A"), 0)
+	b, _ := fs.Create(fs.Root(), "b", 0o644, false)
+	fs.WriteAt(b.ID, []byte("B"), 0)
+
+	// Rename over an existing file replaces it.
+	if err := fs.Rename(fs.Root(), "a", fs.Root(), "b"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	got, err := fs.Lookup(fs.Root(), "b")
+	if err != nil || got.ID != a.ID {
+		t.Fatalf("b resolves to %+v, want inode of a", got)
+	}
+	if _, err := fs.Lookup(fs.Root(), "a"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("a still exists after rename")
+	}
+	if _, err := fs.Stat(b.ID); !errors.Is(err, ErrStale) {
+		t.Fatalf("replaced inode should be freed, err = %v", err)
+	}
+
+	// Rename across directories.
+	sub, _ := fs.Mkdir(fs.Root(), "sub", 0o755)
+	if err := fs.Rename(fs.Root(), "b", sub.ID, "moved"); err != nil {
+		t.Fatalf("cross-dir rename: %v", err)
+	}
+	if got, err := fs.Lookup(sub.ID, "moved"); err != nil || got.ID != a.ID {
+		t.Fatalf("moved = %+v, %v", got, err)
+	}
+}
+
+func TestRenameDirUpdatesLinkCounts(t *testing.T) {
+	fs := newFS()
+	d1, _ := fs.Mkdir(fs.Root(), "d1", 0o755)
+	fs.Mkdir(fs.Root(), "d2", 0o755)
+	fs.Mkdir(d1.ID, "inner", 0o755)
+	d2, _ := fs.Lookup(fs.Root(), "d2")
+	if err := fs.Rename(d1.ID, "inner", d2.ID, "inner"); err != nil {
+		t.Fatalf("rename dir: %v", err)
+	}
+	a1, _ := fs.Stat(d1.ID)
+	a2, _ := fs.Stat(d2.ID)
+	if a1.Nlink != 2 || a2.Nlink != 3 {
+		t.Fatalf("nlinks = %d, %d; want 2, 3", a1.Nlink, a2.Nlink)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := newFS()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		fs.Create(fs.Root(), n, 0o644, false)
+	}
+	ents, err := fs.ReadDir(fs.Root())
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	if len(ents) != 3 || ents[0].Name != "alpha" || ents[1].Name != "mid" || ents[2].Name != "zeta" {
+		t.Fatalf("entries = %+v", ents)
+	}
+}
+
+func TestSymlink(t *testing.T) {
+	fs := newFS()
+	attr, err := fs.Symlink(fs.Root(), "ln", "target/path")
+	if err != nil {
+		t.Fatalf("symlink: %v", err)
+	}
+	got, err := fs.Readlink(attr.ID)
+	if err != nil || got != "target/path" {
+		t.Fatalf("readlink = %q, %v", got, err)
+	}
+	f, _ := fs.Create(fs.Root(), "f", 0o644, false)
+	if _, err := fs.Readlink(f.ID); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("readlink on file err = %v", err)
+	}
+}
+
+func TestTruncateViaSetAttr(t *testing.T) {
+	fs := newFS()
+	attr, _ := fs.Create(fs.Root(), "f", 0o644, false)
+	fs.WriteAt(attr.ID, []byte("0123456789"), 0)
+	size := uint64(4)
+	a, err := fs.Apply(attr.ID, SetAttr{Size: &size})
+	if err != nil || a.Size != 4 {
+		t.Fatalf("truncate: %+v, %v", a, err)
+	}
+	size = 8
+	a, _ = fs.Apply(attr.ID, SetAttr{Size: &size})
+	buf := make([]byte, 8)
+	fs.ReadAt(attr.ID, buf, 0)
+	if !bytes.Equal(buf, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+		t.Fatalf("extended data = %v", buf)
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	fs := newFS()
+	id, err := fs.WriteFile("a/b/c/file.dat", []byte("deep"))
+	if err != nil {
+		t.Fatalf("writefile: %v", err)
+	}
+	attr, err := fs.LookupPath("a/b/c/file.dat")
+	if err != nil || attr.ID != id || attr.Size != 4 {
+		t.Fatalf("lookup path = %+v, %v", attr, err)
+	}
+	if _, err := fs.LookupPath("a/b/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing path err = %v", err)
+	}
+	// MkdirAll is idempotent.
+	if _, err := fs.MkdirAll("a/b/c"); err != nil {
+		t.Fatalf("mkdirall existing: %v", err)
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	fs := newFS()
+	for _, name := range []string{"", ".", "..", "a/b", string(make([]byte, 300))} {
+		if _, err := fs.Create(fs.Root(), name, 0o644, false); err == nil {
+			t.Errorf("create %q succeeded", name)
+		}
+	}
+}
+
+func TestStaleIDsRejectedEverywhere(t *testing.T) {
+	fs := newFS()
+	bogus := ID(9999)
+	if _, err := fs.Stat(bogus); !errors.Is(err, ErrStale) {
+		t.Errorf("stat: %v", err)
+	}
+	if _, err := fs.Lookup(bogus, "x"); !errors.Is(err, ErrStale) {
+		t.Errorf("lookup: %v", err)
+	}
+	if _, _, err := fs.ReadAt(bogus, nil, 0); !errors.Is(err, ErrStale) {
+		t.Errorf("read: %v", err)
+	}
+	if _, err := fs.WriteAt(bogus, nil, 0); !errors.Is(err, ErrStale) {
+		t.Errorf("write: %v", err)
+	}
+}
+
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	fs := newFS()
+	attr, _ := fs.Create(fs.Root(), "prop", 0o644, false)
+	f := func(chunks [][]byte, offsets []uint16) bool {
+		// Mirror writes into a shadow buffer and compare.
+		shadow := make([]byte, 0)
+		size := uint64(0)
+		fs.Apply(attr.ID, SetAttr{Size: &size})
+		for i, chunk := range chunks {
+			var off uint64
+			if i < len(offsets) {
+				off = uint64(offsets[i])
+			}
+			if _, err := fs.WriteAt(attr.ID, chunk, off); err != nil {
+				return false
+			}
+			end := off + uint64(len(chunk))
+			if end > uint64(len(shadow)) {
+				shadow = append(shadow, make([]byte, end-uint64(len(shadow)))...)
+			}
+			copy(shadow[off:], chunk)
+		}
+		got := make([]byte, len(shadow)+10)
+		n, _, err := fs.ReadAt(attr.ID, got, 0)
+		if err != nil {
+			return false
+		}
+		if len(shadow) == 0 {
+			return n == 0
+		}
+		return bytes.Equal(got[:n], shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLinkCountsConsistent(t *testing.T) {
+	fs := newFS()
+	attr, _ := fs.Create(fs.Root(), "base", 0o644, false)
+	names := make(map[string]bool)
+	f := func(ops []uint8) bool {
+		for i, op := range ops {
+			name := fmt.Sprintf("l%d", i%8)
+			if op%2 == 0 {
+				if _, err := fs.Link(fs.Root(), name, attr.ID); err == nil {
+					names[name] = true
+				}
+			} else {
+				if err := fs.Remove(fs.Root(), name); err == nil {
+					delete(names, name)
+				}
+			}
+			st, err := fs.Stat(attr.ID)
+			if err != nil {
+				return false
+			}
+			if int(st.Nlink) != 1+len(names) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRenamePreservesInodeCount(t *testing.T) {
+	fs := newFS()
+	root := fs.Root()
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		fs.Create(root, n, 0o644, false)
+	}
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			from := names[int(op)%len(names)]
+			to := names[int(op>>4)%len(names)]
+			fs.Rename(root, from, root, to)
+			// Invariants: every directory entry resolves to a live inode,
+			// and no two entries alias unless hard-linked (nlink tracks it).
+			ents, err := fs.ReadDir(root)
+			if err != nil {
+				return false
+			}
+			for _, e := range ents {
+				attr, err := fs.Stat(e.ID)
+				if err != nil || attr.Nlink == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMkdirRmdirBalance(t *testing.T) {
+	fs := newFS()
+	root := fs.Root()
+	f := func(ops []uint8) bool {
+		for i, op := range ops {
+			name := fmt.Sprintf("d%d", int(op)%6)
+			if i%2 == 0 {
+				fs.Mkdir(root, name, 0o755)
+			} else {
+				fs.Rmdir(root, name)
+			}
+			// Root nlink = 2 + number of child directories, always.
+			ents, _ := fs.ReadDir(root)
+			dirs := 0
+			for _, e := range ents {
+				if a, err := fs.Stat(e.ID); err == nil && a.Type == TypeDir {
+					dirs++
+				}
+			}
+			rootAttr, err := fs.Stat(root)
+			if err != nil || int(rootAttr.Nlink) != 2+dirs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,419 @@
+package nfsclient
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/nfs3"
+)
+
+// File is an open file on the mount. It goes through the client's page
+// cache; Close flushes dirty blocks (close-to-open consistency).
+type File struct {
+	c    *Client
+	fh   nfs3.FH
+	path string
+}
+
+// Open opens an existing regular file at path, revalidating its attributes
+// per close-to-open semantics.
+func (c *Client) Open(path string) (*File, error) {
+	fh, err := c.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	attr, err := c.getattr(fh, !c.opts.NoCTO)
+	if err != nil {
+		return nil, err
+	}
+	if attr.Type == nfs3.TypeDir {
+		return nil, &nfs3.Error{Status: nfs3.ErrIsDir, Proc: nfs3.ProcLookup}
+	}
+	return &File{c: c, fh: fh, path: path}, nil
+}
+
+// Create creates (or truncates) a regular file at path and opens it. When
+// exclusive is set the call fails if the name exists.
+func (c *Client) Create(path string, mode uint32, exclusive bool) (*File, error) {
+	dir, name, err := c.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	how := uint32(nfs3.CreateUnchecked)
+	if exclusive {
+		how = nfs3.CreateGuarded
+	}
+	res, err := c.conn.CreateAs(dir, name, mode, how, c.opts.UID, c.opts.GID)
+	if err != nil {
+		return nil, err
+	}
+	c.applyWcc(dir, res.DirWcc)
+	if res.Status != nfs3.OK {
+		return nil, nfsErr(nfs3.ProcCreate, res.Status)
+	}
+	if !res.FHFollows {
+		return nil, fmt.Errorf("nfsclient: create returned no handle")
+	}
+	c.rememberNewEntry(dir, name, res.FH, res.Attr)
+	// A truncating create invalidates any cached pages for the old inode —
+	// including dirty ones, whose data the truncation discarded.
+	c.mu.Lock()
+	if fc, ok := c.files[res.FH.Key()]; ok {
+		for bn := range fc.dirty {
+			delete(fc.dirty, bn)
+			delete(fc.blocks, bn)
+		}
+		c.dropCleanBlocksLocked(res.FH.Key(), fc)
+		if res.Attr.Present {
+			fc.mtime = res.Attr.Attr.Mtime
+			fc.size = res.Attr.Attr.Size
+		}
+	}
+	c.mu.Unlock()
+	return &File{c: c, fh: res.FH, path: path}, nil
+}
+
+// FH returns the file's NFS handle.
+func (f *File) FH() nfs3.FH { return f.fh }
+
+// Path returns the path the file was opened with.
+func (f *File) Path() string { return f.path }
+
+// Size returns the file size from (possibly cached) attributes, adjusted for
+// unflushed local extension.
+func (f *File) Size() (uint64, error) {
+	attr, err := f.c.getattr(f.fh, false)
+	if err != nil {
+		return 0, err
+	}
+	size := attr.Size
+	f.c.mu.Lock()
+	if fc, ok := f.c.files[f.fh.Key()]; ok && fc.size > size && len(fc.dirty) > 0 {
+		size = fc.size
+	}
+	f.c.mu.Unlock()
+	return size, nil
+}
+
+// fileCacheFor returns (creating if needed) the data cache for fh, coherent
+// with the given attributes.
+func (c *Client) fileCacheFor(fh nfs3.FH, attr nfs3.Fattr) *fileCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := fh.Key()
+	fc, ok := c.files[key]
+	if !ok {
+		fc = &fileCache{
+			mtime:  attr.Mtime,
+			size:   attr.Size,
+			blocks: make(map[uint64][]byte),
+			dirty:  make(map[uint64]bool),
+		}
+		c.files[key] = fc
+		return fc
+	}
+	if fc.mtime != attr.Mtime {
+		// Someone else changed the file: drop clean pages. Dirty pages are
+		// ours and newer; they survive until flush.
+		c.dropCleanBlocksLocked(key, fc)
+		fc.mtime = attr.Mtime
+		fc.size = attr.Size
+	} else if len(fc.dirty) == 0 {
+		fc.size = attr.Size
+	}
+	return fc
+}
+
+// ReadAt reads len(p) bytes at offset off through the page cache. It
+// returns io.EOF when off is at or beyond end of file.
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	c := f.c
+	attr, err := c.getattr(f.fh, false)
+	if err != nil {
+		return 0, err
+	}
+	fc := c.fileCacheFor(f.fh, attr)
+
+	c.mu.Lock()
+	size := fc.size
+	c.mu.Unlock()
+	if off >= size {
+		return 0, io.EOF
+	}
+	if max := size - off; uint64(len(p)) > max {
+		p = p[:max]
+	}
+
+	bs := uint64(c.opts.BlockSize)
+	n := 0
+	for n < len(p) {
+		pos := off + uint64(n)
+		bn := pos / bs
+		bo := pos % bs
+
+		c.mu.Lock()
+		block, ok := fc.blocks[bn]
+		if ok && !fc.dirty[bn] {
+			c.lru.touch(f.fh.Key(), bn)
+		}
+		c.mu.Unlock()
+
+		if !ok {
+			res, err := c.conn.Read(f.fh, bn*bs, uint32(bs))
+			if err != nil {
+				return n, err
+			}
+			if res.Status != nfs3.OK {
+				return n, nfsErr(nfs3.ProcRead, res.Status)
+			}
+			if res.Attr.Present {
+				c.cacheAttrs(f.fh, res.Attr.Attr)
+			}
+			block = make([]byte, bs)
+			copy(block, res.Data)
+			c.mu.Lock()
+			// Re-check: a concurrent writer may have dirtied the block.
+			if _, exists := fc.blocks[bn]; !exists {
+				fc.blocks[bn] = block
+				c.lru.add(f.fh.Key(), bn, len(block))
+				c.evictLocked()
+			} else {
+				block = fc.blocks[bn]
+			}
+			c.mu.Unlock()
+		}
+		n += copy(p[n:], block[bo:])
+	}
+	var eofErr error
+	if off+uint64(n) >= size {
+		eofErr = io.EOF
+	}
+	return n, eofErr
+}
+
+// WriteAt writes p at off through the write-back cache.
+func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+	c := f.c
+	attr, err := c.getattr(f.fh, false)
+	if err != nil {
+		return 0, err
+	}
+	fc := c.fileCacheFor(f.fh, attr)
+	bs := uint64(c.opts.BlockSize)
+
+	n := 0
+	for n < len(p) {
+		pos := off + uint64(n)
+		bn := pos / bs
+		bo := pos % bs
+		chunk := int(bs - bo)
+		if rem := len(p) - n; chunk > rem {
+			chunk = rem
+		}
+
+		c.mu.Lock()
+		block, ok := fc.blocks[bn]
+		partial := bo != 0 || uint64(chunk) < bs
+		blockStart := bn * bs
+		needFetch := !ok && partial && blockStart < fc.size
+		c.mu.Unlock()
+
+		if needFetch {
+			// Read-modify-write of a partially overwritten block.
+			res, err := c.conn.Read(f.fh, blockStart, uint32(bs))
+			if err != nil {
+				return n, err
+			}
+			if res.Status != nfs3.OK {
+				return n, nfsErr(nfs3.ProcWrite, res.Status)
+			}
+			block = make([]byte, bs)
+			copy(block, res.Data)
+			ok = true
+		}
+
+		c.mu.Lock()
+		if existing, exists := fc.blocks[bn]; exists {
+			block = existing
+		} else {
+			if !ok {
+				block = make([]byte, bs)
+			}
+			fc.blocks[bn] = block
+		}
+		if !fc.dirty[bn] {
+			// Dirty blocks leave the clean LRU; they are pinned until flush.
+			c.lru.remove(f.fh.Key(), bn, len(block))
+			fc.dirty[bn] = true
+		}
+		copy(block[bo:], p[n:n+chunk])
+		if end := pos + uint64(chunk); end > fc.size {
+			fc.size = end
+			// Keep the cached attribute size coherent with local extension.
+			if ent, ok2 := c.attrs[f.fh.Key()]; ok2 {
+				ent.attr.Size = fc.size
+			}
+		}
+		dirtyCount := len(fc.dirty)
+		c.mu.Unlock()
+
+		n += chunk
+
+		if c.opts.WriteThrough || dirtyCount >= maxDirtyBlocks {
+			if err := f.Sync(); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// maxDirtyBlocks bounds buffered dirty data per file before a forced flush
+// (mirrors the kernel flushing when too many pages are dirty).
+const maxDirtyBlocks = 512
+
+// Sync flushes dirty blocks with stable WRITEs.
+func (f *File) Sync() error {
+	c := f.c
+	key := f.fh.Key()
+	bs := uint64(c.opts.BlockSize)
+
+	for {
+		c.mu.Lock()
+		fc, ok := c.files[key]
+		if !ok || len(fc.dirty) == 0 {
+			c.mu.Unlock()
+			return nil
+		}
+		// Pick the lowest dirty block for deterministic flush order.
+		var bn uint64
+		first := true
+		for b := range fc.dirty {
+			if first || b < bn {
+				bn = b
+				first = false
+			}
+		}
+		block := fc.blocks[bn]
+		start := bn * bs
+		count := bs
+		if start+count > fc.size {
+			count = fc.size - start
+		}
+		data := make([]byte, count)
+		copy(data, block[:count])
+		c.mu.Unlock()
+
+		res, err := c.conn.Write(f.fh, start, data, nfs3.FileSync)
+		if err != nil {
+			return err
+		}
+		if res.Status != nfs3.OK {
+			return nfsErr(nfs3.ProcWrite, res.Status)
+		}
+
+		c.mu.Lock()
+		delete(fc.dirty, bn)
+		c.lru.add(key, bn, len(block))
+		if res.Wcc.After.Present {
+			// Adopt the server's view as our own so the reply does not look
+			// like a third-party modification.
+			fc.mtime = res.Wcc.After.Attr.Mtime
+			if len(fc.dirty) == 0 {
+				fc.size = res.Wcc.After.Attr.Size
+			}
+			c.cacheAttrsLocked(f.fh, res.Wcc.After.Attr)
+		}
+		c.evictLocked()
+		c.mu.Unlock()
+	}
+}
+
+// Truncate sets the file size.
+func (f *File) Truncate(size uint64) error {
+	c := f.c
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	res, err := c.conn.Setattr(f.fh, nfs3.Sattr{Size: &size})
+	if err != nil {
+		return err
+	}
+	if res.Status != nfs3.OK {
+		return nfsErr(nfs3.ProcSetattr, res.Status)
+	}
+	c.mu.Lock()
+	if fc, ok := c.files[f.fh.Key()]; ok {
+		c.dropCleanBlocksLocked(f.fh.Key(), fc)
+		fc.size = size
+		if res.Wcc.After.Present {
+			fc.mtime = res.Wcc.After.Attr.Mtime
+		}
+	}
+	c.mu.Unlock()
+	if res.Wcc.After.Present {
+		c.cacheAttrs(f.fh, res.Wcc.After.Attr)
+	}
+	return nil
+}
+
+// Close flushes dirty data (close-to-open consistency) and releases the
+// handle.
+func (f *File) Close() error {
+	return f.Sync()
+}
+
+// ReadFile reads the whole file at path.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	f, err := c.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	read := 0
+	for uint64(read) < size {
+		n, err := f.ReadAt(buf[read:], uint64(read))
+		read += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf[:read], nil
+}
+
+// WriteFile creates path with the given contents and flushes it.
+func (c *Client) WriteFile(path string, data []byte) error {
+	f, err := c.Create(path, 0o644, false)
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := f.WriteAt(data, 0); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// evictLocked trims the clean-block cache to the configured bound.
+func (c *Client) evictLocked() {
+	for c.lru.bytes > c.opts.CacheBytes {
+		key, bn, size, ok := c.lru.evictOldest()
+		if !ok {
+			return
+		}
+		if fc, exists := c.files[key]; exists {
+			delete(fc.blocks, bn)
+		}
+		_ = size
+	}
+}

@@ -1,0 +1,69 @@
+package nfsclient
+
+import "container/list"
+
+// blockLRU tracks clean cached blocks across all files of a client for
+// byte-bounded LRU eviction. Dirty blocks are pinned outside the LRU until
+// they are flushed.
+type blockLRU struct {
+	order *list.List // front = most recently used
+	index map[blockKey]*list.Element
+	bytes int64
+}
+
+type blockKey struct {
+	file  string
+	block uint64
+}
+
+type blockRef struct {
+	key  blockKey
+	size int
+}
+
+func newBlockLRU() *blockLRU {
+	return &blockLRU{order: list.New(), index: make(map[blockKey]*list.Element)}
+}
+
+// add registers a clean block (idempotent).
+func (l *blockLRU) add(file string, block uint64, size int) {
+	k := blockKey{file, block}
+	if el, ok := l.index[k]; ok {
+		l.order.MoveToFront(el)
+		return
+	}
+	el := l.order.PushFront(&blockRef{key: k, size: size})
+	l.index[k] = el
+	l.bytes += int64(size)
+}
+
+// touch marks a block recently used.
+func (l *blockLRU) touch(file string, block uint64) {
+	if el, ok := l.index[blockKey{file, block}]; ok {
+		l.order.MoveToFront(el)
+	}
+}
+
+// remove deregisters a block (e.g. it became dirty or was invalidated).
+func (l *blockLRU) remove(file string, block uint64, size int) {
+	k := blockKey{file, block}
+	if el, ok := l.index[k]; ok {
+		l.order.Remove(el)
+		delete(l.index, k)
+		l.bytes -= int64(el.Value.(*blockRef).size)
+	}
+	_ = size
+}
+
+// evictOldest pops the least recently used clean block.
+func (l *blockLRU) evictOldest() (file string, block uint64, size int, ok bool) {
+	el := l.order.Back()
+	if el == nil {
+		return "", 0, 0, false
+	}
+	ref := el.Value.(*blockRef)
+	l.order.Remove(el)
+	delete(l.index, ref.key)
+	l.bytes -= int64(ref.size)
+	return ref.key.file, ref.key.block, ref.size, true
+}

@@ -1,0 +1,499 @@
+package nfsclient
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/nfs3"
+	"repro/internal/nfscall"
+	"repro/internal/nfsserver"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+	"repro/internal/vclock"
+)
+
+// testEnv wires an NFS server and N kernel clients over a simulated WAN.
+type testEnv struct {
+	clk     *vclock.Clock
+	net     *simnet.Net
+	fs      *memfs.FS
+	rpcSrv  *sunrpc.Server
+	clients []*Client
+}
+
+func newEnv(t *testing.T, nclients int, opts Options) (*testEnv, func()) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	n := simnet.New(clk, simnet.Params{RTT: 40 * time.Millisecond, Bandwidth: 4_000_000 / 8})
+	fs := memfs.New(clk.Now)
+	srv := nfsserver.New(fs, 1)
+	rpcSrv := sunrpc.NewServer(clk)
+	srv.Register(rpcSrv)
+
+	env := &testEnv{clk: clk, net: n, fs: fs, rpcSrv: rpcSrv}
+	done := make(chan struct{})
+	clk.Go("setup", func() {
+		defer close(done)
+		l, err := n.Host("server").Listen(":2049")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		rpcSrv.Serve(l)
+		for i := 0; i < nclients; i++ {
+			host := n.Host(clientName(i))
+			conn, err := host.Dial("server:2049")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			nc := nfscall.New(sunrpc.NewClient(clk, conn, sunrpc.SysCred(host.Name(), 0, 0)))
+			root, err := nc.Mount("/export")
+			if err != nil {
+				t.Errorf("mount: %v", err)
+				return
+			}
+			env.clients = append(env.clients, New(clk, nc, root, opts))
+		}
+	})
+	<-done
+	if len(env.clients) != nclients {
+		t.Fatal("setup failed")
+	}
+	return env, func() {
+		for _, c := range env.clients {
+			c.Conn().Close()
+		}
+		rpcSrv.Close()
+		clk.Stop()
+	}
+}
+
+func clientName(i int) string { return string(rune('A'+i)) + "-client" }
+
+func (e *testEnv) run(t *testing.T, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	e.clk.Go("test", func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("simulation hung")
+	}
+}
+
+// procCount returns the client's NFS RPC count for one procedure.
+func procCount(c *Client, proc uint32) int64 {
+	return c.Conn().RPC().Counts()[uint64(nfs3.Program)<<32|uint64(proc)]
+}
+
+func TestReadServedFromPageCache(t *testing.T) {
+	env, cleanup := newEnv(t, 2, Options{})
+	defer cleanup()
+	w, c := env.clients[0], env.clients[1]
+	env.run(t, func() {
+		payload := bytes.Repeat([]byte("abc"), 50_000) // ~150 KB, several blocks
+		if err := w.WriteFile("data", payload); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		got, err := c.ReadFile("data")
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("first read mismatch: %v", err)
+			return
+		}
+		reads := procCount(c, nfs3.ProcRead)
+		if reads == 0 {
+			t.Error("expected READ RPCs on cold read")
+		}
+		if _, err := c.ReadFile("data"); err != nil {
+			t.Errorf("second read: %v", err)
+			return
+		}
+		if got := procCount(c, nfs3.ProcRead); got != reads {
+			t.Errorf("warm read issued %d extra READ RPCs", got-reads)
+		}
+		// The writer's own cache also serves its reads without RPCs.
+		wReads := procCount(w, nfs3.ProcRead)
+		if _, err := w.ReadFile("data"); err != nil {
+			t.Errorf("writer read: %v", err)
+			return
+		}
+		if got := procCount(w, nfs3.ProcRead); got != wReads {
+			t.Errorf("writer reread issued %d READ RPCs", got-wReads)
+		}
+	})
+}
+
+func TestAttrCacheSuppressesGetattrs(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{AttrMin: 30 * time.Second, AttrMax: 30 * time.Second, NoCTO: true})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		if err := c.WriteFile("f", []byte("x")); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if _, err := c.Stat("f"); err != nil {
+			t.Errorf("stat: %v", err)
+			return
+		}
+		base := procCount(c, nfs3.ProcGetattr)
+		for i := 0; i < 100; i++ {
+			c.clk.Sleep(100 * time.Millisecond)
+			if _, err := c.Stat("f"); err != nil {
+				t.Errorf("stat: %v", err)
+				return
+			}
+		}
+		// 10 seconds of polling inside a 30-second window: no revalidation.
+		if got := procCount(c, nfs3.ProcGetattr); got != base {
+			t.Errorf("GETATTRs went %d -> %d within attr window", base, got)
+		}
+		c.clk.Sleep(31 * time.Second)
+		c.Stat("f")
+		if got := procCount(c, nfs3.ProcGetattr); got <= base {
+			t.Error("no revalidation after attr timeout")
+		}
+	})
+}
+
+func TestNoACForcesRevalidation(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{NoAC: true, NoCTO: true})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		if err := c.WriteFile("f", []byte("x")); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		base := procCount(c, nfs3.ProcGetattr)
+		for i := 0; i < 10; i++ {
+			if _, err := c.Stat("f"); err != nil {
+				t.Errorf("stat: %v", err)
+				return
+			}
+		}
+		if got := procCount(c, nfs3.ProcGetattr); got < base+10 {
+			t.Errorf("noac stats issued only %d GETATTRs, want >= 10", got-base)
+		}
+	})
+}
+
+func TestCloseToOpenConsistency(t *testing.T) {
+	env, cleanup := newEnv(t, 2, Options{AttrMin: 30 * time.Second, AttrMax: 30 * time.Second})
+	defer cleanup()
+	a, b := env.clients[0], env.clients[1]
+	env.run(t, func() {
+		if err := a.WriteFile("shared", []byte("version-1")); err != nil {
+			t.Errorf("a write: %v", err)
+			return
+		}
+		if got, err := b.ReadFile("shared"); err != nil || string(got) != "version-1" {
+			t.Errorf("b read v1 = %q, %v", got, err)
+			return
+		}
+		// B rewrites; close flushes (close-to-open).
+		if err := b.WriteFile("shared", []byte("version-2!")); err != nil {
+			t.Errorf("b write: %v", err)
+			return
+		}
+		// A re-opens: open revalidation must see the new mtime and drop
+		// cached pages even though the attr window has not expired.
+		if got, err := a.ReadFile("shared"); err != nil || string(got) != "version-2!" {
+			t.Errorf("a read after b's update = %q, %v (close-to-open broken)", got, err)
+		}
+	})
+}
+
+func TestStaleStatWithinAttrWindow(t *testing.T) {
+	env, cleanup := newEnv(t, 2, Options{AttrMin: 30 * time.Second, AttrMax: 30 * time.Second, NoCTO: true})
+	defer cleanup()
+	a, b := env.clients[0], env.clients[1]
+	env.run(t, func() {
+		a.WriteFile("f", []byte("0123456789"))
+		st, err := b.Stat("f")
+		if err != nil || st.Size != 10 {
+			t.Errorf("b stat: %+v, %v", st, err)
+			return
+		}
+		// A truncates; B's cached attrs are now stale.
+		fa, _ := a.Open("f")
+		if err := fa.Truncate(2); err != nil {
+			t.Errorf("truncate: %v", err)
+			return
+		}
+		st, _ = b.Stat("f")
+		if st.Size != 10 {
+			t.Errorf("b saw fresh size %d within attr window; want stale 10 (this is the weak consistency the paper exploits)", st.Size)
+		}
+		env.clk.Sleep(31 * time.Second)
+		st, _ = b.Stat("f")
+		if st.Size != 2 {
+			t.Errorf("b still stale after window: size = %d", st.Size)
+		}
+	})
+}
+
+func TestWriteBackBuffersUntilClose(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		f, err := c.Create("wb", 0o644, false)
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		base := procCount(c, nfs3.ProcWrite)
+		data := bytes.Repeat([]byte{7}, 100_000) // ~3 blocks at 32 KiB
+		if _, err := f.WriteAt(data, 0); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if got := procCount(c, nfs3.ProcWrite); got != base {
+			t.Errorf("writes not buffered: %d WRITE RPCs before close", got-base)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		want := int64((len(data) + c.opts.BlockSize - 1) / c.opts.BlockSize)
+		if got := procCount(c, nfs3.ProcWrite) - base; got != want {
+			t.Errorf("flush issued %d WRITEs, want %d", got, want)
+		}
+		got, err := c.ReadFile("wb")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("readback mismatch: %v", err)
+		}
+	})
+}
+
+func TestWriteThroughMode(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{WriteThrough: true})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		f, _ := c.Create("wt", 0o644, false)
+		base := procCount(c, nfs3.ProcWrite)
+		f.WriteAt([]byte("immediate"), 0)
+		if got := procCount(c, nfs3.ProcWrite); got == base {
+			t.Error("write-through mode did not issue WRITE immediately")
+		}
+		f.Close()
+	})
+}
+
+func TestDnlcCachesLookups(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{AttrMin: 30 * time.Second, AttrMax: 30 * time.Second, NoCTO: true})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		c.Mkdir("dir", 0o755)
+		c.WriteFile("dir/leaf", []byte("x"))
+		c.Stat("dir/leaf")
+		base := procCount(c, nfs3.ProcLookup)
+		for i := 0; i < 20; i++ {
+			c.Stat("dir/leaf")
+		}
+		if got := procCount(c, nfs3.ProcLookup); got != base {
+			t.Errorf("warm path resolution issued %d LOOKUPs", got-base)
+		}
+	})
+}
+
+func TestPartialBlockReadModifyWrite(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		orig := bytes.Repeat([]byte{1}, 50_000)
+		c.WriteFile("rmw", orig)
+		// Reopen fresh client view; overwrite a small range crossing nothing.
+		f, err := c.Open("rmw")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		patch := []byte{9, 9, 9}
+		if _, err := f.WriteAt(patch, 40_000); err != nil {
+			t.Errorf("patch: %v", err)
+			return
+		}
+		f.Close()
+		want := append([]byte(nil), orig...)
+		copy(want[40_000:], patch)
+		got, err := c.ReadFile("rmw")
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("read-modify-write corrupted data: err=%v", err)
+		}
+	})
+}
+
+func TestLinkRemoveRenameReadDir(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		c.Mkdir("d", 0o755)
+		c.WriteFile("d/a", []byte("1"))
+		if err := c.Link("d/a", "d/b"); err != nil {
+			t.Errorf("link: %v", err)
+			return
+		}
+		if err := c.Link("d/a", "d/b"); !nfs3.IsStatus(err, nfs3.ErrExist) {
+			t.Errorf("duplicate link err = %v, want EXIST", err)
+		}
+		if err := c.Rename("d/b", "d/c"); err != nil {
+			t.Errorf("rename: %v", err)
+		}
+		names, err := c.ReadDir("d")
+		if err != nil || len(names) != 2 {
+			t.Errorf("readdir = %v, %v", names, err)
+		}
+		if err := c.Remove("d/c"); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if err := c.Remove("d/a"); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if err := c.Rmdir("d"); err != nil {
+			t.Errorf("rmdir: %v", err)
+		}
+	})
+}
+
+func TestExclusiveCreateRace(t *testing.T) {
+	env, cleanup := newEnv(t, 2, Options{})
+	defer cleanup()
+	a, b := env.clients[0], env.clients[1]
+	env.run(t, func() {
+		if _, err := a.Create("only-one", 0o644, true); err != nil {
+			t.Errorf("first exclusive create: %v", err)
+			return
+		}
+		if _, err := b.Create("only-one", 0o644, true); !nfs3.IsStatus(err, nfs3.ErrExist) {
+			t.Errorf("second exclusive create err = %v, want EXIST", err)
+		}
+	})
+}
+
+func TestLRUEvictionBoundsCache(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{CacheBytes: 8 * 32 * 1024}) // 8 blocks
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		data := bytes.Repeat([]byte{5}, 32*1024)
+		for i := 0; i < 20; i++ {
+			c.WriteFile("f"+string(rune('a'+i)), data)
+		}
+		for i := 0; i < 20; i++ {
+			c.ReadFile("f" + string(rune('a'+i)))
+		}
+		c.mu.Lock()
+		bytesCached := c.lru.bytes
+		c.mu.Unlock()
+		if bytesCached > 8*32*1024 {
+			t.Errorf("cache holds %d bytes, bound is %d", bytesCached, 8*32*1024)
+		}
+		// Everything must still read correctly after eviction.
+		got, err := c.ReadFile("fa")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Errorf("post-eviction read mismatch: %v", err)
+		}
+	})
+}
+
+func TestReadAtEOFSemantics(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		c.WriteFile("small", []byte("12345"))
+		f, _ := c.Open("small")
+		buf := make([]byte, 10)
+		n, err := f.ReadAt(buf, 0)
+		if n != 5 || err != io.EOF {
+			t.Errorf("ReadAt past end = (%d, %v), want (5, EOF)", n, err)
+		}
+		if _, err := f.ReadAt(buf, 100); err != io.EOF {
+			t.Errorf("ReadAt beyond EOF err = %v", err)
+		}
+		f.Close()
+	})
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		if _, err := c.Open("nope"); !nfs3.IsStatus(err, nfs3.ErrNoEnt) {
+			t.Errorf("open missing err = %v, want NOENT", err)
+		}
+	})
+}
+
+func TestAdaptiveAttrTimeoutGrowsForStableFiles(t *testing.T) {
+	env, cleanup := newEnv(t, 1, Options{AttrMin: 3 * time.Second, AttrMax: 48 * time.Second, NoCTO: true})
+	defer cleanup()
+	c := env.clients[0]
+	env.run(t, func() {
+		c.WriteFile("stable", []byte("unchanging"))
+		c.Stat("stable")
+		// Poll for 4 virtual minutes; a fixed 3s window would revalidate
+		// ~80 times, the adaptive one far fewer as the window doubles.
+		base := procCount(c, nfs3.ProcGetattr)
+		for i := 0; i < 240; i++ {
+			env.clk.Sleep(time.Second)
+			if _, err := c.Stat("stable"); err != nil {
+				t.Errorf("stat: %v", err)
+				return
+			}
+		}
+		revalidations := procCount(c, nfs3.ProcGetattr) - base
+		if revalidations >= 40 {
+			t.Errorf("%d revalidations in 4min; adaptive window not widening", revalidations)
+		}
+		if revalidations < 5 {
+			t.Errorf("%d revalidations; window exceeded AttrMax", revalidations)
+		}
+	})
+}
+
+func TestAdaptiveAttrTimeoutResetsOnChange(t *testing.T) {
+	env, cleanup := newEnv(t, 2, Options{AttrMin: 3 * time.Second, AttrMax: 60 * time.Second, NoCTO: true})
+	defer cleanup()
+	a, b := env.clients[0], env.clients[1]
+	env.run(t, func() {
+		a.WriteFile("hot", []byte("v0"))
+		b.Stat("hot")
+		// B watches while A rewrites every 5s: the window must stay near
+		// AttrMin, so B notices each change within a few seconds.
+		for round := 1; round <= 5; round++ {
+			a.WriteFile("hot", bytes.Repeat([]byte("v"), round+1))
+			deadline := env.clk.Now() + 15*time.Second
+			for {
+				st, err := b.Stat("hot")
+				if err != nil {
+					t.Errorf("stat: %v", err)
+					return
+				}
+				if st.Size == uint64(round+1) {
+					break
+				}
+				if env.clk.Now() > deadline {
+					t.Errorf("round %d: change not visible within 15s (window stuck wide)", round)
+					return
+				}
+				env.clk.Sleep(time.Second)
+			}
+		}
+	})
+}

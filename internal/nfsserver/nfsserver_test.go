@@ -1,0 +1,319 @@
+package nfsserver
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/nfs3"
+	"repro/internal/nfscall"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+	"repro/internal/vclock"
+)
+
+// env is a simulated NFS server plus one connected typed client.
+type env struct {
+	clk  *vclock.Clock
+	fs   *memfs.FS
+	srv  *Server
+	nfs  *nfscall.Conn
+	root nfs3.FH
+}
+
+func setup(t *testing.T) (*env, func()) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	n := simnet.New(clk, simnet.Params{RTT: 10 * time.Millisecond})
+	fs := memfs.New(clk.Now)
+	srv := New(fs, 1)
+	rpcSrv := sunrpc.NewServer(clk)
+	srv.Register(rpcSrv)
+
+	e := &env{clk: clk, fs: fs, srv: srv}
+	done := make(chan struct{})
+	clk.Go("setup", func() {
+		defer close(done)
+		l, err := n.Host("server").Listen(":2049")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		rpcSrv.Serve(l)
+		conn, err := n.Host("client").Dial("server:2049")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		e.nfs = nfscall.New(sunrpc.NewClient(clk, conn, sunrpc.SysCred("client", 0, 0)))
+		e.root, err = e.nfs.Mount("/export")
+		if err != nil {
+			t.Errorf("mount: %v", err)
+		}
+	})
+	<-done
+	if e.nfs == nil || e.root.IsZero() {
+		t.Fatal("setup failed")
+	}
+	return e, func() {
+		e.nfs.Close()
+		rpcSrv.Close()
+		clk.Stop()
+	}
+}
+
+func (e *env) run(t *testing.T, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	e.clk.Go("test", func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation hung")
+	}
+}
+
+func TestMountReturnsRootHandle(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		res, err := e.nfs.Getattr(e.root)
+		if err != nil || res.Status != nfs3.OK {
+			t.Errorf("getattr root: %v / %v", err, res.Status)
+			return
+		}
+		if res.Attr.Type != nfs3.TypeDir {
+			t.Errorf("root type = %v", res.Attr.Type)
+		}
+	})
+}
+
+func TestCreateWriteReadOverWire(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		cr, err := e.nfs.Create(e.root, "data.bin", 0o644, nfs3.CreateUnchecked)
+		if err != nil || cr.Status != nfs3.OK || !cr.FHFollows {
+			t.Errorf("create: %v / %+v", err, cr)
+			return
+		}
+		payload := bytes.Repeat([]byte("wide-area "), 100)
+		wr, err := e.nfs.Write(cr.FH, 0, payload, nfs3.FileSync)
+		if err != nil || wr.Status != nfs3.OK || wr.Count != uint32(len(payload)) {
+			t.Errorf("write: %v / %+v", err, wr)
+			return
+		}
+		if wr.Committed != nfs3.FileSync {
+			t.Errorf("committed = %d, want FILE_SYNC (synchronous export)", wr.Committed)
+		}
+		rr, err := e.nfs.Read(cr.FH, 0, uint32(len(payload)+10))
+		if err != nil || rr.Status != nfs3.OK {
+			t.Errorf("read: %v / %v", err, rr.Status)
+			return
+		}
+		if !bytes.Equal(rr.Data, payload) || !rr.EOF {
+			t.Errorf("read data mismatch (%d bytes, eof=%v)", len(rr.Data), rr.EOF)
+		}
+	})
+}
+
+func TestLookupAndStaleHandles(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		e.nfs.Create(e.root, "f", 0o644, nfs3.CreateUnchecked)
+		lr, err := e.nfs.Lookup(e.root, "f")
+		if err != nil || lr.Status != nfs3.OK {
+			t.Errorf("lookup: %v / %v", err, lr.Status)
+			return
+		}
+		if !lr.DirAttr.Present {
+			t.Error("lookup missing dir post-op attributes")
+		}
+		if lr2, _ := e.nfs.Lookup(e.root, "missing"); lr2.Status != nfs3.ErrNoEnt {
+			t.Errorf("missing lookup = %v", lr2.Status)
+		}
+		// A handle from another generation must be stale.
+		bad := nfs3.MakeFH(999, 1)
+		if gr, _ := e.nfs.Getattr(bad); gr.Status != nfs3.ErrStale {
+			t.Errorf("foreign-generation getattr = %v, want STALE", gr.Status)
+		}
+	})
+}
+
+func TestMtimeChangesOnEveryWrite(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		cr, _ := e.nfs.Create(e.root, "f", 0o644, nfs3.CreateUnchecked)
+		g1, _ := e.nfs.Getattr(cr.FH)
+		e.nfs.Write(cr.FH, 0, []byte("v2"), nfs3.FileSync)
+		g2, _ := e.nfs.Getattr(cr.FH)
+		if g1.Attr.Same(&g2.Attr) {
+			t.Error("attributes unchanged after write; revalidation would miss the update")
+		}
+		if !g1.Attr.Mtime.Less(g2.Attr.Mtime) {
+			t.Errorf("mtime not increasing: %+v -> %+v", g1.Attr.Mtime, g2.Attr.Mtime)
+		}
+	})
+}
+
+func TestLinkExclusionPrimitive(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		cr, _ := e.nfs.Create(e.root, "tmp1", 0o644, nfs3.CreateUnchecked)
+		cr2, _ := e.nfs.Create(e.root, "tmp2", 0o644, nfs3.CreateUnchecked)
+		if lr, err := e.nfs.Link(cr.FH, e.root, "lockfile"); err != nil || lr.Status != nfs3.OK {
+			t.Errorf("first link: %v / %v", err, lr.Status)
+			return
+		}
+		if lr, _ := e.nfs.Link(cr2.FH, e.root, "lockfile"); lr.Status != nfs3.ErrExist {
+			t.Errorf("second link = %v, want EXIST", lr.Status)
+		}
+		if wr, _ := e.nfs.Remove(e.root, "lockfile"); wr.Status != nfs3.OK {
+			t.Errorf("unlock failed: %v", wr.Status)
+		}
+		if lr, _ := e.nfs.Link(cr2.FH, e.root, "lockfile"); lr.Status != nfs3.OK {
+			t.Errorf("relock after unlock = %v", lr.Status)
+		}
+	})
+}
+
+func TestReaddirPagination(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		dir, _ := e.nfs.Mkdir(e.root, "big", 0o755)
+		want := map[string]bool{}
+		for i := 0; i < 50; i++ {
+			name := "file" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			e.nfs.Create(dir.FH, name, 0o644, nfs3.CreateUnchecked)
+			want[name] = true
+		}
+		got := map[string]bool{}
+		var cookie uint64
+		for {
+			res, err := e.nfs.Readdir(dir.FH, cookie, 1, 512)
+			if err != nil || res.Status != nfs3.OK {
+				t.Errorf("readdir: %v / %v", err, res.Status)
+				return
+			}
+			for _, ent := range res.Entries {
+				if got[ent.Name] {
+					t.Errorf("duplicate entry %q", ent.Name)
+				}
+				got[ent.Name] = true
+				cookie = ent.Cookie
+			}
+			if res.EOF {
+				break
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("got %d entries, want %d", len(got), len(want))
+		}
+	})
+}
+
+func TestReaddirplusReturnsHandles(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		e.nfs.Create(e.root, "x", 0o644, nfs3.CreateUnchecked)
+		res, err := e.nfs.Readdirplus(e.root, 0, 0, 1024, 8192)
+		if err != nil || res.Status != nfs3.OK || len(res.Entries) == 0 {
+			t.Errorf("readdirplus: %v / %+v", err, res.Status)
+			return
+		}
+		ent := res.Entries[0]
+		if !ent.FHFollows || !ent.Attr.Present {
+			t.Errorf("entry missing handle or attrs: %+v", ent)
+		}
+		if g, _ := e.nfs.Getattr(ent.FH); g.Status != nfs3.OK {
+			t.Errorf("returned handle unusable: %v", g.Status)
+		}
+	})
+}
+
+func TestRenameRemoveRmdir(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		d, _ := e.nfs.Mkdir(e.root, "d", 0o755)
+		e.nfs.Create(d.FH, "a", 0o644, nfs3.CreateUnchecked)
+		if rr, _ := e.nfs.Rename(d.FH, "a", e.root, "b"); rr.Status != nfs3.OK {
+			t.Errorf("rename: %v", rr.Status)
+		}
+		if rm, _ := e.nfs.Rmdir(e.root, "d"); rm.Status != nfs3.OK {
+			t.Errorf("rmdir: %v", rm.Status)
+		}
+		if rm, _ := e.nfs.Remove(e.root, "b"); rm.Status != nfs3.OK {
+			t.Errorf("remove: %v", rm.Status)
+		}
+		if rm, _ := e.nfs.Remove(e.root, "b"); rm.Status != nfs3.ErrNoEnt {
+			t.Errorf("double remove = %v", rm.Status)
+		}
+	})
+}
+
+func TestSetattrTruncateAndWcc(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		cr, _ := e.nfs.Create(e.root, "f", 0o644, nfs3.CreateUnchecked)
+		e.nfs.Write(cr.FH, 0, []byte("0123456789"), nfs3.FileSync)
+		size := uint64(3)
+		res, err := e.nfs.Setattr(cr.FH, nfs3.Sattr{Size: &size})
+		if err != nil || res.Status != nfs3.OK {
+			t.Errorf("setattr: %v / %v", err, res.Status)
+			return
+		}
+		if !res.Wcc.Before.Present || res.Wcc.Before.Attr.Size != 10 {
+			t.Errorf("wcc before = %+v", res.Wcc.Before)
+		}
+		if !res.Wcc.After.Present || res.Wcc.After.Attr.Size != 3 {
+			t.Errorf("wcc after = %+v", res.Wcc.After)
+		}
+	})
+}
+
+func TestSymlinkReadlink(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		sr, err := e.nfs.Symlink(e.root, "ln", "over/there")
+		if err != nil || sr.Status != nfs3.OK {
+			t.Errorf("symlink: %v / %v", err, sr.Status)
+			return
+		}
+		rl, err := e.nfs.Readlink(sr.FH)
+		if err != nil || rl.Status != nfs3.OK || rl.Path != "over/there" {
+			t.Errorf("readlink = %+v, %v", rl, err)
+		}
+	})
+}
+
+func TestFsstatFsinfoCommit(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		fsr, err := e.nfs.Fsstat(e.root)
+		if err != nil || fsr.Status != nfs3.OK || fsr.TBytes == 0 {
+			t.Errorf("fsstat: %v / %+v", err, fsr)
+		}
+		fir, err := e.nfs.Fsinfo(e.root)
+		if err != nil || fir.Status != nfs3.OK || fir.WtMax == 0 {
+			t.Errorf("fsinfo: %v / %+v", err, fir)
+		}
+		cr, _ := e.nfs.Create(e.root, "f", 0o644, nfs3.CreateUnchecked)
+		cm, err := e.nfs.Commit(cr.FH, 0, 0)
+		if err != nil || cm.Status != nfs3.OK {
+			t.Errorf("commit: %v / %v", err, cm.Status)
+		}
+	})
+}

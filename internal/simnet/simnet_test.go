@@ -1,0 +1,272 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// run executes fn as a managed actor and waits for it (and the actors it
+// spawns) to finish.
+func run(t *testing.T, clk *vclock.Clock, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	clk.Go("test-main", func() {
+		defer close(done)
+		fn()
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation did not finish")
+	}
+}
+
+func TestDialRecvSendRoundTrip(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{RTT: 40 * time.Millisecond})
+	run(t, clk, func() {
+		l, err := n.Host("server").Listen(":2049")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		clk.Go("server", func() {
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			msg, err := c.Recv()
+			if err != nil {
+				t.Errorf("server recv: %v", err)
+				return
+			}
+			if err := c.Send(append([]byte("echo:"), msg...)); err != nil {
+				t.Errorf("server send: %v", err)
+			}
+		})
+
+		start := clk.Now()
+		c, err := n.Host("client").Dial("server:2049")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if got := clk.Now() - start; got != 40*time.Millisecond {
+			t.Errorf("dial took %v, want one 40ms RTT", got)
+		}
+		if err := c.Send([]byte("ping")); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		reply, err := c.Recv()
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if string(reply) != "echo:ping" {
+			t.Errorf("reply = %q", reply)
+		}
+		if elapsed := clk.Now() - start; elapsed != 80*time.Millisecond {
+			t.Errorf("dial+request took %v, want 80ms (two RTTs)", elapsed)
+		}
+	})
+}
+
+func TestBandwidthDelaysLargeMessages(t *testing.T) {
+	clk := vclock.NewVirtual()
+	// 1 MB/s, zero propagation: a 100 KB message takes 100 ms to transmit.
+	n := New(clk, Params{RTT: 0, Bandwidth: 1_000_000})
+	run(t, clk, func() {
+		l, _ := n.Host("s").Listen(":1")
+		recvAt := vclock.NewMailbox[time.Duration](clk)
+		clk.Go("server", func() {
+			c, _ := l.Accept()
+			if _, err := c.Recv(); err == nil {
+				recvAt.Put(clk.Now())
+			}
+		})
+		c, err := n.Host("c").Dial("s:1")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		start := clk.Now()
+		if err := c.Send(make([]byte, 100_000)); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		got, _ := recvAt.Get()
+		if got-start != 100*time.Millisecond {
+			t.Errorf("100KB at 1MB/s arrived after %v, want 100ms", got-start)
+		}
+	})
+}
+
+func TestBandwidthSerializesBackToBackMessages(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{RTT: 0, Bandwidth: 1_000_000})
+	run(t, clk, func() {
+		l, _ := n.Host("s").Listen(":1")
+		second := vclock.NewMailbox[time.Duration](clk)
+		clk.Go("server", func() {
+			c, _ := l.Accept()
+			c.Recv()
+			if _, err := c.Recv(); err == nil {
+				second.Put(clk.Now())
+			}
+		})
+		c, _ := n.Host("c").Dial("s:1")
+		start := clk.Now()
+		c.Send(make([]byte, 100_000))
+		c.Send(make([]byte, 100_000)) // must queue behind the first
+		at, _ := second.Get()
+		if got := at - start; got != 200*time.Millisecond {
+			t.Errorf("second message arrived after %v, want 200ms", got)
+		}
+	})
+}
+
+func TestDialUnreachable(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{RTT: 10 * time.Millisecond})
+	run(t, clk, func() {
+		start := clk.Now()
+		_, err := n.Host("c").Dial("nowhere:9")
+		if !errors.Is(err, transport.ErrUnreachable) {
+			t.Errorf("err = %v, want ErrUnreachable", err)
+		}
+		if clk.Now()-start != 10*time.Millisecond {
+			t.Errorf("failed dial took %v, want one RTT", clk.Now()-start)
+		}
+	})
+}
+
+func TestPartitionDropsTraffic(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{RTT: time.Millisecond})
+	run(t, clk, func() {
+		l, _ := n.Host("s").Listen(":1")
+		got := vclock.NewMailbox[string](clk)
+		clk.Go("server", func() {
+			c, _ := l.Accept()
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				got.Put(string(m))
+			}
+		})
+		c, _ := n.Host("c").Dial("s:1")
+		n.Partition("c", "s")
+		c.Send([]byte("lost"))
+		clk.Sleep(10 * time.Millisecond)
+		n.Heal("c", "s")
+		c.Send([]byte("after-heal"))
+		if m, _ := got.Get(); m != "after-heal" {
+			t.Errorf("first delivered message = %q, want %q (partitioned send dropped)", m, "after-heal")
+		}
+		if st := n.LinkStats("c", "s"); st.Dropped != 1 {
+			t.Errorf("dropped = %d, want 1", st.Dropped)
+		}
+		c.Close()
+	})
+}
+
+func TestPerLinkParamsOverride(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{RTT: 40 * time.Millisecond})
+	n.SetLink("near", "s", Params{RTT: 2 * time.Millisecond})
+	run(t, clk, func() {
+		l, _ := n.Host("s").Listen(":1")
+		clk.Go("server", func() {
+			for {
+				if _, err := l.Accept(); err != nil {
+					return
+				}
+			}
+		})
+		start := clk.Now()
+		if _, err := n.Host("near").Dial("s:1"); err != nil {
+			t.Errorf("dial: %v", err)
+		}
+		if got := clk.Now() - start; got != 2*time.Millisecond {
+			t.Errorf("near dial RTT = %v, want 2ms", got)
+		}
+		start = clk.Now()
+		if _, err := n.Host("far").Dial("s:1"); err != nil {
+			t.Errorf("dial: %v", err)
+		}
+		if got := clk.Now() - start; got != 40*time.Millisecond {
+			t.Errorf("far dial RTT = %v, want 40ms", got)
+		}
+		l.Close()
+	})
+}
+
+func TestCloseReleasesPeerRecv(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{RTT: time.Millisecond})
+	run(t, clk, func() {
+		l, _ := n.Host("s").Listen(":1")
+		errc := vclock.NewMailbox[error](clk)
+		clk.Go("server", func() {
+			c, _ := l.Accept()
+			_, err := c.Recv()
+			errc.Put(err)
+		})
+		c, _ := n.Host("c").Dial("s:1")
+		c.Close()
+		if err, _ := errc.Get(); !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("peer Recv err = %v, want ErrClosed", err)
+		}
+		if err := c.Send([]byte("x")); !errors.Is(err, transport.ErrClosed) {
+			t.Errorf("Send after close err = %v, want ErrClosed", err)
+		}
+	})
+}
+
+func TestListenAddrInUse(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{})
+	h := n.Host("s")
+	if _, err := h.Listen(":1"); err != nil {
+		t.Fatalf("first listen: %v", err)
+	}
+	if _, err := h.Listen(":1"); !errors.Is(err, transport.ErrAddrInUse) {
+		t.Fatalf("second listen err = %v, want ErrAddrInUse", err)
+	}
+	if _, err := n.Host("other").Listen("s:2"); err == nil {
+		t.Fatal("listening on another host's name should fail")
+	}
+}
+
+func TestStatsCountTraffic(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := New(clk, Params{RTT: time.Millisecond})
+	run(t, clk, func() {
+		l, _ := n.Host("s").Listen(":1")
+		clk.Go("server", func() {
+			c, _ := l.Accept()
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		})
+		c, _ := n.Host("c").Dial("s:1")
+		c.Send(make([]byte, 100))
+		c.Send(make([]byte, 200))
+		clk.Sleep(10 * time.Millisecond)
+		st := n.LinkStats("c", "s")
+		if st.Messages != 2 || st.Bytes != 300 {
+			t.Errorf("stats = %+v, want 2 messages / 300 bytes", st)
+		}
+		c.Close()
+	})
+}

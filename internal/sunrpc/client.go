@@ -1,0 +1,179 @@
+package sunrpc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/xdr"
+)
+
+// Client issues RPC calls over a single connection. Calls may be issued
+// concurrently from many actors; replies are matched by XID. The client owns
+// a demux actor reading the connection.
+type Client struct {
+	clk  *vclock.Clock
+	conn transport.Conn
+	cred Cred
+
+	mu      sync.Mutex
+	xid     uint32
+	pending map[uint32]*pendingCall
+	closed  bool
+	counts  map[uint64]int64 // prog<<32|proc -> calls sent
+}
+
+type pendingCall struct {
+	w    *vclock.Waiter
+	body *xdr.Decoder
+	stat AcceptStat
+	err  error
+	done bool
+}
+
+// NewClient wraps conn as an RPC client using cred for every call. The
+// client starts a demux actor on the clock.
+func NewClient(clk *vclock.Clock, conn transport.Conn, cred Cred) *Client {
+	c := &Client{
+		clk:     clk,
+		conn:    conn,
+		cred:    cred,
+		pending: make(map[uint32]*pendingCall),
+		counts:  make(map[uint64]int64),
+	}
+	clk.GoDaemon("sunrpc-client-demux", c.demux)
+	return c
+}
+
+// SetCred replaces the credential used for subsequent calls.
+func (c *Client) SetCred(cred Cred) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cred = cred
+}
+
+// Call invokes (prog, vers, proc) with pre-encoded args and blocks for the
+// reply body. A non-Success accept status is returned as *Error.
+func (c *Client) Call(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+	return c.CallTimeout(prog, vers, proc, args, 0)
+}
+
+// CallTimeout is Call with a deadline; timeout 0 means wait forever. On
+// timeout the pending entry is abandoned (a late reply is dropped), matching
+// at-least-once RPC semantics where the caller simply retries.
+func (c *Client) CallTimeout(prog, vers, proc uint32, args []byte, timeout time.Duration) (*xdr.Decoder, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.xid++
+	xid := c.xid
+	pc := &pendingCall{w: c.clk.NewWaiter()}
+	c.pending[xid] = pc
+	c.counts[uint64(prog)<<32|uint64(proc)]++
+	cred := c.cred
+	c.mu.Unlock()
+
+	msg := marshalCall(xid, prog, vers, proc, cred, args)
+	if err := c.conn.Send(msg); err != nil {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+
+	var timer *vclock.Timer
+	if timeout > 0 {
+		timer = c.clk.AfterFunc(timeout, func() {
+			c.mu.Lock()
+			if p, ok := c.pending[xid]; ok && !p.done {
+				p.err = ErrTimeout
+				p.done = true
+				delete(c.pending, xid)
+			}
+			c.mu.Unlock()
+			pc.w.Wake()
+		})
+	}
+	c.clk.WaitAs(pc.w, "rpc call")
+	if timer != nil {
+		timer.Stop()
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !pc.done {
+		// Woken without a completion: the clock is shutting down and
+		// released all waiters.
+		delete(c.pending, xid)
+		return nil, ErrClosed
+	}
+	if pc.err != nil {
+		return nil, pc.err
+	}
+	if pc.stat != Success {
+		return nil, &Error{Stat: pc.stat}
+	}
+	return pc.body, nil
+}
+
+// Counts returns a snapshot of calls sent, keyed by prog<<32|proc.
+func (c *Client) Counts() map[uint64]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Close tears down the connection and fails all pending calls with
+// ErrClosed.
+func (c *Client) Close() error {
+	return c.conn.Close() // demux observes the close and fails pending calls
+}
+
+func (c *Client) demux() {
+	for {
+		raw, err := c.conn.Recv()
+		if err != nil {
+			c.failAll()
+			return
+		}
+		m, err := parseMsg(raw)
+		if err != nil || m.mtype != msgReply {
+			continue // garbage or stray call on a client connection
+		}
+		c.mu.Lock()
+		pc, ok := c.pending[m.xid]
+		if ok {
+			delete(c.pending, m.xid)
+			pc.body = m.body
+			pc.stat = m.acceptStat
+			pc.done = true
+		}
+		c.mu.Unlock()
+		if ok {
+			pc.w.Wake()
+		}
+	}
+}
+
+func (c *Client) failAll() {
+	c.mu.Lock()
+	c.closed = true
+	ps := make([]*pendingCall, 0, len(c.pending))
+	for xid, pc := range c.pending {
+		pc.err = ErrClosed
+		pc.done = true
+		ps = append(ps, pc)
+		delete(c.pending, xid)
+	}
+	c.mu.Unlock()
+	for _, pc := range ps {
+		pc.w.Wake()
+	}
+}

@@ -1,0 +1,164 @@
+package sunrpc
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/xdr"
+)
+
+// DispatchFunc handles one procedure call for a registered program. It
+// decodes arguments from call.Args, writes results to call.Reply, and
+// returns the accept status. Dispatch functions run concurrently (the
+// server is multithreaded, as the paper's proxies are).
+type DispatchFunc func(call *Call) AcceptStat
+
+type progVers struct{ prog, vers uint32 }
+
+// Server accepts connections from a listener and dispatches RPC calls to
+// registered programs.
+type Server struct {
+	clk *vclock.Clock
+
+	mu       sync.Mutex
+	programs map[progVers]DispatchFunc
+	progs    map[uint32]bool // known program numbers, for ProgMismatch
+	ls       []transport.Listener
+	conns    map[transport.Conn]bool
+	closed   bool
+	counts   map[uint64]int64 // prog<<32|proc -> calls served
+}
+
+// NewServer returns an empty server; register programs before Serve.
+func NewServer(clk *vclock.Clock) *Server {
+	return &Server{
+		clk:      clk,
+		programs: make(map[progVers]DispatchFunc),
+		progs:    make(map[uint32]bool),
+		conns:    make(map[transport.Conn]bool),
+		counts:   make(map[uint64]int64),
+	}
+}
+
+// Register installs the dispatch function for (prog, vers).
+func (s *Server) Register(prog, vers uint32, fn DispatchFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.programs[progVers{prog, vers}] = fn
+	s.progs[prog] = true
+}
+
+// Serve starts an accept loop on l. It returns immediately; connection and
+// request handling run as clock actors. Serve may be called for multiple
+// listeners.
+func (s *Server) Serve(l transport.Listener) {
+	s.mu.Lock()
+	s.ls = append(s.ls, l)
+	s.mu.Unlock()
+	s.clk.GoDaemon("sunrpc-accept:"+l.Addr(), func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = true
+			s.mu.Unlock()
+			s.clk.GoDaemon("sunrpc-conn:"+conn.RemoteAddr(), func() { s.serveConn(conn) })
+		}
+	})
+}
+
+// Counts returns a snapshot of calls served, keyed by prog<<32|proc.
+func (s *Server) Counts() map[uint64]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]int64, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Close stops all listeners and closes all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ls := s.ls
+	s.ls = nil
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[transport.Conn]bool)
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		m, err := parseMsg(raw)
+		if err != nil || m.mtype != msgCall {
+			continue
+		}
+		// Each request is served on its own actor so slow handlers (e.g. a
+		// proxy server blocked issuing a callback) do not stall the
+		// connection — the multithreading the paper requires to avoid
+		// deadlock between NFS RPCs and GVFS callbacks.
+		s.clk.Go("sunrpc-req", func() { s.handle(conn, m) })
+	}
+}
+
+func (s *Server) handle(conn transport.Conn, m *parsedMsg) {
+	s.mu.Lock()
+	fn, ok := s.programs[progVers{m.prog, m.vers}]
+	knownProg := s.progs[m.prog]
+	s.counts[uint64(m.prog)<<32|uint64(m.proc)]++
+	s.mu.Unlock()
+
+	if !ok {
+		stat := ProgUnavail
+		if knownProg {
+			stat = ProgMismatch
+		}
+		conn.Send(marshalReply(m.xid, stat, nil))
+		return
+	}
+
+	call := &Call{
+		XID:   m.xid,
+		Prog:  m.prog,
+		Vers:  m.vers,
+		Proc:  m.proc,
+		Cred:  m.cred,
+		Args:  m.body,
+		Reply: xdr.NewEncoder(),
+	}
+	stat := fn(call)
+	var results []byte
+	if stat == Success {
+		results = call.Reply.Bytes()
+	}
+	conn.Send(marshalReply(m.xid, stat, results))
+}

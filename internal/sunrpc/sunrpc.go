@@ -1,0 +1,227 @@
+// Package sunrpc implements the ONC RPC v2 protocol (RFC 5531) message
+// format and a concurrent client and server over the transport abstraction.
+// NFSv3, the GVFS GETINV extension, and the GVFS callback program all run on
+// top of this layer, exactly as the paper's proxies speak Sun RPC.
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// RPC message types.
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+// Reply status.
+const (
+	msgAccepted = 0
+	msgDenied   = 1
+)
+
+// AcceptStat values (RFC 5531 section 9).
+type AcceptStat uint32
+
+// Accept status codes.
+const (
+	Success      AcceptStat = 0
+	ProgUnavail  AcceptStat = 1
+	ProgMismatch AcceptStat = 2
+	ProcUnavail  AcceptStat = 3
+	GarbageArgs  AcceptStat = 4
+	SystemErr    AcceptStat = 5
+)
+
+func (s AcceptStat) String() string {
+	switch s {
+	case Success:
+		return "SUCCESS"
+	case ProgUnavail:
+		return "PROG_UNAVAIL"
+	case ProgMismatch:
+		return "PROG_MISMATCH"
+	case ProcUnavail:
+		return "PROC_UNAVAIL"
+	case GarbageArgs:
+		return "GARBAGE_ARGS"
+	case SystemErr:
+		return "SYSTEM_ERR"
+	default:
+		return fmt.Sprintf("AcceptStat(%d)", uint32(s))
+	}
+}
+
+// Auth flavors.
+const (
+	AuthNone = 0
+	AuthSys  = 1
+	// AuthGVFS is the private credential flavor GVFS proxy clients use to
+	// encapsulate their session key, client ID and callback address in every
+	// RPC request (paper sections 4.3.2-4.3.3).
+	AuthGVFS = 395648
+)
+
+// Cred is an opaque RPC credential (flavor + body).
+type Cred struct {
+	Flavor uint32
+	Body   []byte
+}
+
+// NoneCred returns an AUTH_NONE credential.
+func NoneCred() Cred { return Cred{Flavor: AuthNone} }
+
+// SysCred returns an AUTH_SYS credential for the given identity.
+func SysCred(machine string, uid, gid uint32) Cred {
+	e := xdr.NewEncoder()
+	e.Uint32(0) // stamp
+	e.String(machine)
+	e.Uint32(uid)
+	e.Uint32(gid)
+	e.Uint32(0) // no auxiliary gids
+	return Cred{Flavor: AuthSys, Body: e.Bytes()}
+}
+
+// maxCred bounds credential bodies (RFC 5531 limits them to 400 bytes).
+const maxCred = 400
+
+// Call is a received RPC call as presented to server dispatch functions.
+type Call struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred Cred
+	// Args decodes the procedure arguments.
+	Args *xdr.Decoder
+	// Reply accumulates the procedure results on Success.
+	Reply *xdr.Encoder
+}
+
+// Errors returned by the client.
+var (
+	ErrTimeout = errors.New("sunrpc: call timed out")
+	ErrClosed  = errors.New("sunrpc: connection closed")
+)
+
+// Error is a non-Success RPC-level response.
+type Error struct {
+	Stat AcceptStat
+}
+
+func (e *Error) Error() string { return "sunrpc: " + e.Stat.String() }
+
+// marshalCall builds the wire form of a call message.
+func marshalCall(xid, prog, vers, proc uint32, cred Cred, args []byte) []byte {
+	e := xdr.NewEncoder()
+	e.Uint32(xid)
+	e.Uint32(msgCall)
+	e.Uint32(2) // RPC version
+	e.Uint32(prog)
+	e.Uint32(vers)
+	e.Uint32(proc)
+	e.Uint32(cred.Flavor)
+	e.Opaque(cred.Body)
+	e.Uint32(AuthNone) // verifier
+	e.Opaque(nil)
+	e.FixedOpaque(args)
+	// FixedOpaque pads, but args are already XDR so always 4-aligned.
+	return e.Bytes()
+}
+
+// marshalReply builds the wire form of an accepted reply.
+func marshalReply(xid uint32, stat AcceptStat, results []byte) []byte {
+	e := xdr.NewEncoder()
+	e.Uint32(xid)
+	e.Uint32(msgReply)
+	e.Uint32(msgAccepted)
+	e.Uint32(AuthNone) // verifier
+	e.Opaque(nil)
+	e.Uint32(uint32(stat))
+	e.FixedOpaque(results)
+	return e.Bytes()
+}
+
+// parsedMsg is a decoded RPC message header plus remaining payload decoder.
+type parsedMsg struct {
+	xid   uint32
+	mtype uint32
+	// call fields
+	prog, vers, proc uint32
+	cred             Cred
+	// reply fields
+	replyStat  uint32
+	acceptStat AcceptStat
+	// body holds the procedure args/results
+	body *xdr.Decoder
+}
+
+func parseMsg(raw []byte) (*parsedMsg, error) {
+	d := xdr.NewDecoder(raw)
+	m := &parsedMsg{}
+	var err error
+	if m.xid, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	if m.mtype, err = d.Uint32(); err != nil {
+		return nil, err
+	}
+	switch m.mtype {
+	case msgCall:
+		rpcvers, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if rpcvers != 2 {
+			return nil, fmt.Errorf("sunrpc: unsupported RPC version %d", rpcvers)
+		}
+		if m.prog, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if m.vers, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if m.proc, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if m.cred.Flavor, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if m.cred.Body, err = d.Opaque(maxCred); err != nil {
+			return nil, err
+		}
+		// Verifier: flavor + opaque, ignored.
+		if _, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if _, err = d.Opaque(maxCred); err != nil {
+			return nil, err
+		}
+	case msgReply:
+		if m.replyStat, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if m.replyStat != msgAccepted {
+			return nil, fmt.Errorf("sunrpc: call denied by server")
+		}
+		// Verifier.
+		if _, err = d.Uint32(); err != nil {
+			return nil, err
+		}
+		if _, err = d.Opaque(maxCred); err != nil {
+			return nil, err
+		}
+		stat, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		m.acceptStat = AcceptStat(stat)
+	default:
+		return nil, fmt.Errorf("sunrpc: unknown message type %d", m.mtype)
+	}
+	m.body = d
+	return m, nil
+}

@@ -1,0 +1,118 @@
+// Package tcpnet implements the transport abstraction over real TCP with
+// 4-byte big-endian length-prefix framing. It backs the standalone daemons
+// (cmd/gvfs-*) and examples so the same protocol stack that runs in the
+// simulator also runs across real networks.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// MaxMessage bounds a single framed message (guards against corrupt length
+// prefixes). NFS READ/WRITE payloads in this repository are far smaller.
+const MaxMessage = 16 << 20
+
+// Net implements transport.Network over the operating system's TCP stack.
+type Net struct{}
+
+var _ transport.Network = Net{}
+
+// Dial connects to a TCP listener at addr.
+func (Net) Dial(addr string) (transport.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", transport.ErrUnreachable, err)
+	}
+	return newConn(nc), nil
+}
+
+// Listen binds a TCP listener at addr ("host:port"; port 0 picks a free one).
+func (Net) Listen(addr string) (transport.Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet listen %s: %w", addr, err)
+	}
+	return &listener{nl: nl}, nil
+}
+
+type listener struct {
+	nl net.Listener
+}
+
+func (l *listener) Accept() (transport.Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, transport.ErrClosed
+		}
+		return nil, err
+	}
+	return newConn(nc), nil
+}
+
+func (l *listener) Close() error { return l.nl.Close() }
+func (l *listener) Addr() string { return l.nl.Addr().String() }
+
+type conn struct {
+	nc net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+var _ transport.Conn = (*conn)(nil)
+
+func newConn(nc net.Conn) *conn { return &conn{nc: nc} }
+
+func (c *conn) Send(msg []byte) error {
+	if len(msg) > MaxMessage {
+		return fmt.Errorf("tcpnet: message of %d bytes exceeds limit", len(msg))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return mapErr(err)
+	}
+	if _, err := c.nc.Write(msg); err != nil {
+		return mapErr(err)
+	}
+	return nil
+}
+
+func (c *conn) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return nil, mapErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessage {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, buf); err != nil {
+		return nil, mapErr(err)
+	}
+	return buf, nil
+}
+
+func (c *conn) Close() error       { return c.nc.Close() }
+func (c *conn) LocalAddr() string  { return c.nc.LocalAddr().String() }
+func (c *conn) RemoteAddr() string { return c.nc.RemoteAddr().String() }
+
+func mapErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return transport.ErrClosed
+	}
+	return err
+}

@@ -1,0 +1,112 @@
+package tcpnet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestSendRecvOverLoopback(t *testing.T) {
+	var n Net
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				done <- nil
+				return
+			}
+			if err := c.Send(msg); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	for _, payload := range [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	} {
+		if err := c.Send(payload); err != nil {
+			t.Fatalf("send %d bytes: %v", len(payload), err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("echo mismatch: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+	c.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestRecvAfterPeerClose(t *testing.T) {
+	var n Net
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := c.Recv(); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("Recv err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	var n Net
+	// Port 1 on loopback is almost certainly closed.
+	if _, err := n.Dial("127.0.0.1:1"); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	var n Net
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go l.Accept()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(make([]byte, MaxMessage+1)); err == nil {
+		t.Fatal("oversize Send succeeded")
+	}
+}

@@ -1,0 +1,49 @@
+// Package transport defines the message-oriented transport abstraction the
+// RPC layer runs over. Two implementations exist: internal/simnet (a virtual
+// wide-area network driven by virtual time, substituting for the paper's
+// NIST Net emulator) and internal/tcpnet (real TCP with length-prefix
+// framing, used by the standalone daemons and examples).
+package transport
+
+import "errors"
+
+var (
+	// ErrClosed is returned by operations on a closed connection or listener.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnreachable is returned when the remote address has no listener or
+	// the network refuses to carry traffic there (e.g. a simulated partition
+	// at connection-establishment time).
+	ErrUnreachable = errors.New("transport: unreachable")
+	// ErrAddrInUse is returned by Listen when the address is already bound.
+	ErrAddrInUse = errors.New("transport: address in use")
+)
+
+// Conn is a bidirectional, message-preserving connection. Implementations
+// must be safe for one concurrent sender and one concurrent receiver;
+// concurrent Sends are also safe.
+type Conn interface {
+	// Send transmits one message. The slice is not retained.
+	Send(msg []byte) error
+	// Recv blocks for the next message or returns ErrClosed when the
+	// connection is closed and drained.
+	Recv() ([]byte, error)
+	// Close tears the connection down; pending Recvs are released.
+	Close() error
+	// LocalAddr and RemoteAddr return "host:port" style addresses.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on a bound address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Network creates connections and listeners. The simulated network issues
+// per-host handles; real TCP has a single process-wide implementation.
+type Network interface {
+	Dial(addr string) (Conn, error)
+	Listen(addr string) (Listener, error)
+}

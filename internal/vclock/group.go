@@ -1,0 +1,55 @@
+package vclock
+
+import "sync"
+
+// Group is a clock-aware join point, the simulation-safe analogue of
+// sync.WaitGroup: Wait blocks through the clock so virtual time can advance
+// while workload actors run.
+type Group struct {
+	c *Clock
+
+	mu      sync.Mutex
+	pending int
+	waiters []*Waiter
+}
+
+// NewGroup returns an empty group.
+func (c *Clock) NewGroup() *Group { return &Group{c: c} }
+
+// Go spawns fn as a managed actor tracked by the group.
+func (g *Group) Go(name string, fn func()) {
+	g.mu.Lock()
+	g.pending++
+	g.mu.Unlock()
+	g.c.Go(name, func() {
+		defer g.done()
+		fn()
+	})
+}
+
+func (g *Group) done() {
+	g.mu.Lock()
+	g.pending--
+	var ws []*Waiter
+	if g.pending == 0 {
+		ws = g.waiters
+		g.waiters = nil
+	}
+	g.mu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// Wait blocks (through the clock) until every spawned actor has finished.
+func (g *Group) Wait() {
+	g.mu.Lock()
+	if g.pending == 0 {
+		g.mu.Unlock()
+		return
+	}
+	w := g.c.NewWaiter()
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+	g.c.WaitAs(w, "group.Wait")
+}

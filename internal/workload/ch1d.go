@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/nfsclient"
+	"repro/internal/vclock"
+)
+
+// CH1DConfig parameterizes the scientific data-processing scenario of
+// Section 5.2.2: a coastal-ocean hydrodynamics pipeline where a
+// data-producing program runs repeatedly on an observation site, each run
+// contributing 30 more input files, while a data-processing program on an
+// off-site computing center processes the whole accumulated dataset each
+// run.
+type CH1DConfig struct {
+	Runs        int // default 15
+	FilesPerRun int // default 30
+	FileSize    int // default 24 KiB
+	// ProduceTime and ProcessTime model the two programs' CPU costs per run.
+	ProduceTime time.Duration // default 5 s
+	ProcessTime time.Duration // default 8 s
+	Seed        int64
+}
+
+func (c CH1DConfig) withDefaults() CH1DConfig {
+	if c.Runs == 0 {
+		c.Runs = 15
+	}
+	if c.FilesPerRun == 0 {
+		c.FilesPerRun = 30
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 24 * 1024
+	}
+	if c.ProduceTime == 0 {
+		c.ProduceTime = 5 * time.Second
+	}
+	if c.ProcessTime == 0 {
+		c.ProcessTime = 8 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 31415
+	}
+	return c
+}
+
+// CH1DStats records the consumer's per-run runtime (the series of Figure 8).
+type CH1DStats struct {
+	RunTimes []time.Duration
+	// FilesProcessed[i] is the dataset size at run i+1.
+	FilesProcessed []int
+}
+
+// RunCH1D drives the pipeline: for each run, the producer writes
+// FilesPerRun new inputs through its mount, then the consumer reads and
+// processes the entire accumulated dataset through its own mount. The
+// consumer's runtime per run is recorded.
+func RunCH1D(clk *vclock.Clock, producer, consumer *nfsclient.Client, cfg CH1DConfig) (CH1DStats, error) {
+	cfg = cfg.withDefaults()
+	var st CH1DStats
+	if err := producer.Mkdir("ch1d", 0o755); err != nil {
+		return st, fmt.Errorf("mkdir: %w", err)
+	}
+
+	total := 0
+	for run := 1; run <= cfg.Runs; run++ {
+		// Producer: collect new observations.
+		compute(clk, cfg.ProduceTime)
+		for i := 0; i < cfg.FilesPerRun; i++ {
+			path := fmt.Sprintf("ch1d/in-r%02d-f%02d.dat", run, i)
+			data := synthData(cfg.Seed+int64(run*1000+i), cfg.FileSize)
+			if err := producer.WriteFile(path, data); err != nil {
+				return st, fmt.Errorf("produce run %d: %w", run, err)
+			}
+		}
+		total += cfg.FilesPerRun
+
+		// Consumer: process the whole accumulated dataset.
+		start := clk.Now()
+		names, err := consumer.ReadDir("ch1d")
+		if err != nil {
+			return st, fmt.Errorf("scan run %d: %w", run, err)
+		}
+		processed := 0
+		for _, name := range names {
+			if _, err := consumer.ReadFile("ch1d/" + name); err != nil {
+				return st, fmt.Errorf("process run %d %s: %w", run, name, err)
+			}
+			processed++
+		}
+		compute(clk, cfg.ProcessTime)
+		st.RunTimes = append(st.RunTimes, clk.Now()-start)
+		st.FilesProcessed = append(st.FilesProcessed, processed)
+	}
+	return st, nil
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/nfs3"
+	"repro/internal/nfsclient"
+	"repro/internal/vclock"
+)
+
+// LockConfig parameterizes the file-lock contention benchmark of Section
+// 5.1.2: N distributed clients compete for a lock by creating a private
+// temporary file and hard-linking it to a shared lock name (link succeeds
+// atomically for exactly one client). A winner holds the lock for HoldTime,
+// releases it by unlinking, pauses, and rejoins until it has won
+// Acquisitions times. Losers pause RetryPause and retry; an attempt is only
+// made when the (possibly stale) cached view says the lock is free — which
+// is where relaxed consistency costs both fairness and time.
+type LockConfig struct {
+	Clients      int           // default 6
+	Acquisitions int           // default 10 per client
+	HoldTime     time.Duration // default 10 s
+	RetryPause   time.Duration // default 1 s
+	RejoinPause  time.Duration // default 1 s
+	Seed         int64
+}
+
+func (c LockConfig) withDefaults() LockConfig {
+	if c.Clients == 0 {
+		c.Clients = 6
+	}
+	if c.Acquisitions == 0 {
+		c.Acquisitions = 10
+	}
+	if c.HoldTime == 0 {
+		c.HoldTime = 10 * time.Second
+	}
+	if c.RetryPause == 0 {
+		c.RetryPause = time.Second
+	}
+	if c.RejoinPause == 0 {
+		c.RejoinPause = time.Second
+	}
+	return c
+}
+
+// LockEvent records one successful acquisition.
+type LockEvent struct {
+	Client int
+	At     time.Duration
+}
+
+// LockStats summarizes a contention run.
+type LockStats struct {
+	Elapsed time.Duration
+	// Sequence is the order of acquisitions.
+	Sequence []LockEvent
+	// Attempts counts LINK attempts (successful or not) per client.
+	Attempts []int
+	// StaleWaits counts polls where a client's cached view said "held" —
+	// including stale views after a release.
+	StaleWaits []int
+}
+
+// Reacquisitions counts back-to-back wins by the same client: the paper's
+// fairness indicator (under relaxed consistency the previous owner tends to
+// get the lock again).
+func (s *LockStats) Reacquisitions() int {
+	n := 0
+	for i := 1; i < len(s.Sequence); i++ {
+		if s.Sequence[i].Client == s.Sequence[i-1].Client {
+			n++
+		}
+	}
+	return n
+}
+
+// PerClientWins tallies wins by client.
+func (s *LockStats) PerClientWins(clients int) []int {
+	wins := make([]int, clients)
+	for _, e := range s.Sequence {
+		wins[e.Client]++
+	}
+	return wins
+}
+
+// SetupLockDir creates the shared lock directory on the server.
+func SetupLockDir(fs *memfs.FS) error {
+	_, err := fs.MkdirAll("locks")
+	return err
+}
+
+// LockClient is the minimal client interface the lock benchmark drives, so
+// that both NFS-family mounts and the AFS-like reference client can run it.
+type LockClient interface {
+	// Exists reports whether path exists in this client's (possibly
+	// cached, possibly stale) view.
+	Exists(path string) (bool, error)
+	// CreateFile creates an empty file.
+	CreateFile(path string) error
+	// Link atomically hard-links oldPath to newPath, failing with an
+	// EXIST-mapped error if newPath is taken.
+	Link(oldPath, newPath string) error
+	// Remove unlinks path.
+	Remove(path string) error
+	// IsExist reports whether err is this client's EXIST error.
+	IsExist(err error) bool
+}
+
+// NFSLockClient adapts a kernel NFS client mount.
+type NFSLockClient struct{ C *nfsclient.Client }
+
+// Exists stats the path through the client's caches.
+func (a NFSLockClient) Exists(path string) (bool, error) {
+	_, err := a.C.Stat(path)
+	if err == nil {
+		return true, nil
+	}
+	if nfs3.IsStatus(err, nfs3.ErrNoEnt) {
+		return false, nil
+	}
+	return false, err
+}
+
+// CreateFile creates an empty file.
+func (a NFSLockClient) CreateFile(path string) error {
+	f, err := a.C.Create(path, 0o644, false)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Link hard-links.
+func (a NFSLockClient) Link(oldPath, newPath string) error { return a.C.Link(oldPath, newPath) }
+
+// Remove unlinks.
+func (a NFSLockClient) Remove(path string) error { return a.C.Remove(path) }
+
+// IsExist matches NFS3ERR_EXIST.
+func (a NFSLockClient) IsExist(err error) bool { return nfs3.IsStatus(err, nfs3.ErrExist) }
+
+// WrapNFS adapts kernel NFS mounts for RunLock.
+func WrapNFS(cs []*nfsclient.Client) []LockClient {
+	out := make([]LockClient, len(cs))
+	for i, c := range cs {
+		out[i] = NFSLockClient{C: c}
+	}
+	return out
+}
+
+// RunLock runs the contention benchmark: mounts[i] is client i's view of
+// the shared filesystem. It returns when every client has completed its
+// acquisitions.
+func RunLock(clk *vclock.Clock, mounts []LockClient, cfg LockConfig) (LockStats, error) {
+	cfg = cfg.withDefaults()
+	if len(mounts) < cfg.Clients {
+		return LockStats{}, fmt.Errorf("lock workload needs %d mounts, have %d", cfg.Clients, len(mounts))
+	}
+	var (
+		mu      sync.Mutex
+		st      LockStats
+		err     error
+		aborted bool
+	)
+	fail := func(e error) {
+		mu.Lock()
+		if err == nil {
+			err = e
+		}
+		aborted = true
+		mu.Unlock()
+	}
+	shouldStop := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return aborted
+	}
+	st.Attempts = make([]int, cfg.Clients)
+	st.StaleWaits = make([]int, cfg.Clients)
+	start := clk.Now()
+
+	g := clk.NewGroup()
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		c := mounts[i]
+		g.Go(fmt.Sprintf("lock-client-%d", i), func() {
+			tmp := fmt.Sprintf("locks/tmp-%d", i)
+			if cerr := c.CreateFile(tmp); cerr != nil {
+				fail(fmt.Errorf("client %d create temp: %w", i, cerr))
+				return
+			}
+			wins := 0
+			for wins < cfg.Acquisitions {
+				if shouldStop() {
+					return
+				}
+				// Check the (cached) view first; only attempt the link when
+				// the lock looks free.
+				held, serr := c.Exists("locks/LOCK")
+				if serr != nil {
+					fail(fmt.Errorf("client %d poll: %w", i, serr))
+					return
+				}
+				if held {
+					mu.Lock()
+					st.StaleWaits[i]++
+					mu.Unlock()
+					compute(clk, cfg.RetryPause)
+					continue
+				}
+
+				mu.Lock()
+				st.Attempts[i]++
+				mu.Unlock()
+				lerr := c.Link(tmp, "locks/LOCK")
+				if lerr != nil {
+					if c.IsExist(lerr) {
+						compute(clk, cfg.RetryPause)
+						continue
+					}
+					fail(fmt.Errorf("client %d acquire: %w", i, lerr))
+					return
+				}
+
+				// Critical section.
+				mu.Lock()
+				st.Sequence = append(st.Sequence, LockEvent{Client: i, At: clk.Now() - start})
+				mu.Unlock()
+				compute(clk, cfg.HoldTime)
+
+				if rerr := c.Remove("locks/LOCK"); rerr != nil {
+					// Abort everyone: a lock leaked by a failed release
+					// would leave the others polling it forever.
+					fail(fmt.Errorf("client %d release: %w", i, rerr))
+					return
+				}
+				wins++
+				compute(clk, cfg.RejoinPause)
+			}
+		})
+	}
+	g.Wait()
+	st.Elapsed = clk.Now() - start
+	return st, err
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/nfsclient"
+	"repro/internal/vclock"
+)
+
+// MakeConfig parameterizes the Andrew-style make benchmark. The defaults
+// follow the paper's Tcl/Tk 8.4.5 build: 357 C sources and 103 headers
+// compiled into 168 objects (Section 5.1.1). Compiling each translation
+// unit cross-references many headers, which is what generates the tens of
+// thousands of GETATTR consistency checks the paper measures.
+type MakeConfig struct {
+	Sources int // default 357
+	Headers int // default 103
+	Objects int // default 168
+	// HeadersPerSource is how many headers each compilation opens.
+	HeadersPerSource int // default 40
+	// CompileTime is the modeled CPU cost per translation unit.
+	CompileTime time.Duration // default 550 ms
+	// LinkTime is the modeled CPU cost of the final archive/link step.
+	LinkTime time.Duration // default 10 s
+	Seed     int64
+}
+
+func (c MakeConfig) withDefaults() MakeConfig {
+	if c.Sources == 0 {
+		c.Sources = 357
+	}
+	if c.Headers == 0 {
+		c.Headers = 103
+	}
+	if c.Objects == 0 {
+		c.Objects = 168
+	}
+	if c.HeadersPerSource == 0 {
+		c.HeadersPerSource = 40
+	}
+	if c.CompileTime == 0 {
+		c.CompileTime = 550 * time.Millisecond
+	}
+	if c.LinkTime == 0 {
+		c.LinkTime = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// MakeStats summarizes one build.
+type MakeStats struct {
+	Compiled    int
+	BytesRead   int64
+	BytesWrote  int64
+	Elapsed     time.Duration
+	ReadErrors  int
+	WriteErrors int
+}
+
+// SetupMakeTree creates the source tree in the server filesystem under
+// "src": C files of 5-50 KB and headers of 2-30 KB.
+func SetupMakeTree(fs *memfs.FS, cfg MakeConfig) error {
+	cfg = cfg.withDefaults()
+	r := rng(cfg.Seed)
+	for i := 0; i < cfg.Sources; i++ {
+		size := 5_000 + r.Intn(45_000)
+		if _, err := fs.WriteFile(fmt.Sprintf("src/c%03d.c", i), synthData(cfg.Seed+int64(i), size)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.Headers; i++ {
+		size := 2_000 + r.Intn(28_000)
+		if _, err := fs.WriteFile(fmt.Sprintf("src/h%03d.h", i), synthData(cfg.Seed+1000+int64(i), size)); err != nil {
+			return err
+		}
+	}
+	if _, err := fs.WriteFile("src/Makefile", synthData(cfg.Seed+9999, 20_000)); err != nil {
+		return err
+	}
+	_, err := fs.MkdirAll("src/obj")
+	return err
+}
+
+// RunMake executes the build against a mounted client: every source is
+// compiled (read source, open and partially read a deterministic subset of
+// headers, write an object), then the objects are linked. The same object
+// files are rewritten as sources map onto them, matching a build that
+// produces fewer objects than sources (the paper's 168 from 357).
+func RunMake(clk *vclock.Clock, c *nfsclient.Client, cfg MakeConfig) (MakeStats, error) {
+	cfg = cfg.withDefaults()
+	r := rng(cfg.Seed + 7)
+	var st MakeStats
+	start := clk.Now()
+
+	if _, err := c.ReadFile("src/Makefile"); err != nil {
+		return st, fmt.Errorf("read Makefile: %w", err)
+	}
+	// make stats the whole tree to decide what is out of date.
+	names, err := c.ReadDir("src")
+	if err != nil {
+		return st, fmt.Errorf("scan tree: %w", err)
+	}
+	for _, n := range names {
+		if n == "obj" {
+			continue
+		}
+		if _, err := c.Stat("src/" + n); err != nil {
+			return st, err
+		}
+	}
+
+	for i := 0; i < cfg.Sources; i++ {
+		src := fmt.Sprintf("src/c%03d.c", i)
+		data, err := c.ReadFile(src)
+		if err != nil {
+			st.ReadErrors++
+			continue
+		}
+		st.BytesRead += int64(len(data))
+
+		// Cross-reference headers: each open carries close-to-open
+		// revalidation, the dominant source of GETATTR traffic.
+		for h := 0; h < cfg.HeadersPerSource; h++ {
+			header := fmt.Sprintf("src/h%03d.h", r.Intn(cfg.Headers))
+			f, err := c.Open(header)
+			if err != nil {
+				st.ReadErrors++
+				continue
+			}
+			buf := make([]byte, 4096)
+			if n, err := f.ReadAt(buf, 0); err == nil || err == io.EOF {
+				st.BytesRead += int64(n)
+			}
+			f.Close()
+		}
+
+		compute(clk, cfg.CompileTime)
+
+		obj := fmt.Sprintf("src/obj/o%03d.o", i%cfg.Objects)
+		objData := synthData(cfg.Seed+2000+int64(i), 20_000+r.Intn(40_000))
+		if err := c.WriteFile(obj, objData); err != nil {
+			st.WriteErrors++
+			continue
+		}
+		st.BytesWrote += int64(len(objData))
+		st.Compiled++
+	}
+
+	// Link: read every object, write the final binary.
+	for i := 0; i < cfg.Objects; i++ {
+		data, err := c.ReadFile(fmt.Sprintf("src/obj/o%03d.o", i))
+		if err != nil {
+			st.ReadErrors++
+			continue
+		}
+		st.BytesRead += int64(len(data))
+	}
+	compute(clk, cfg.LinkTime)
+	bin := synthData(cfg.Seed+5000, 2_000_000)
+	if err := c.WriteFile("src/obj/tclsh", bin); err != nil {
+		st.WriteErrors++
+	} else {
+		st.BytesWrote += int64(len(bin))
+	}
+
+	st.Elapsed = clk.Now() - start
+	return st, nil
+}

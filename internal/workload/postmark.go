@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/nfsclient"
+	"repro/internal/vclock"
+)
+
+// PostMarkConfig mirrors the PostMark parameters printed in Figure 5:
+// 600 files, 600 transactions, file sizes 32-640 KB, 100 subdirectories,
+// 32 KB read/write block size, read/append bias 9, create/delete bias 5.
+type PostMarkConfig struct {
+	Files        int // default 600
+	Transactions int // default 600
+	MinSize      int // default 32 KiB
+	MaxSize      int // default 640 KiB
+	Subdirs      int // default 100
+	BlockSize    int // default 32 KiB
+	ReadBias     int // default 9 (of 10 read-vs-append)
+	CreateBias   int // default 5 (of 10 create-vs-delete)
+	Seed         int64
+}
+
+func (c PostMarkConfig) withDefaults() PostMarkConfig {
+	if c.Files == 0 {
+		c.Files = 600
+	}
+	if c.Transactions == 0 {
+		c.Transactions = 600
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 32 * 1024
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 640 * 1024
+	}
+	if c.Subdirs == 0 {
+		c.Subdirs = 100
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 32 * 1024
+	}
+	if c.ReadBias == 0 {
+		c.ReadBias = 9
+	}
+	if c.CreateBias == 0 {
+		c.CreateBias = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 4242
+	}
+	return c
+}
+
+// PostMarkStats summarizes a run.
+type PostMarkStats struct {
+	Created   int
+	Deleted   int
+	Read      int
+	Appended  int
+	BytesRead int64
+	BytesWrit int64
+	Elapsed   time.Duration
+}
+
+// RunPostMark executes the benchmark phases against the mount: create the
+// initial file set, run the transaction mix, then delete everything —
+// exactly PostMark's lifecycle. All I/O goes through the client under test
+// (PostMark creates its own working set, so there is no server-side setup).
+func RunPostMark(clk *vclock.Clock, c *nfsclient.Client, cfg PostMarkConfig) (PostMarkStats, error) {
+	cfg = cfg.withDefaults()
+	r := rng(cfg.Seed)
+	var st PostMarkStats
+	start := clk.Now()
+
+	if err := c.Mkdir("pm", 0o755); err != nil {
+		return st, err
+	}
+	for i := 0; i < cfg.Subdirs; i++ {
+		if err := c.Mkdir(fmt.Sprintf("pm/s%02d", i), 0o755); err != nil {
+			return st, err
+		}
+	}
+
+	// Phase 1: create the initial pool.
+	type pmFile struct {
+		path string
+		size int
+	}
+	var pool []pmFile
+	nextID := 0
+	createOne := func() error {
+		size := cfg.MinSize + r.Intn(cfg.MaxSize-cfg.MinSize+1)
+		path := fmt.Sprintf("pm/s%02d/pf%05d", r.Intn(cfg.Subdirs), nextID)
+		nextID++
+		if err := writeChunks(c, path, size, cfg.BlockSize, cfg.Seed+int64(nextID)); err != nil {
+			return err
+		}
+		pool = append(pool, pmFile{path: path, size: size})
+		st.Created++
+		st.BytesWrit += int64(size)
+		return nil
+	}
+	for i := 0; i < cfg.Files; i++ {
+		if err := createOne(); err != nil {
+			return st, fmt.Errorf("create phase: %w", err)
+		}
+	}
+
+	// Phase 2: transactions. Each transaction pairs a read-or-append with a
+	// create-or-delete, per the PostMark definition.
+	for t := 0; t < cfg.Transactions && len(pool) > 0; t++ {
+		idx := r.Intn(len(pool))
+		target := pool[idx]
+		if r.Intn(10) < cfg.ReadBias {
+			f, err := c.Open(target.path)
+			if err != nil {
+				return st, fmt.Errorf("txn read open: %w", err)
+			}
+			buf := make([]byte, cfg.BlockSize)
+			var off uint64
+			for {
+				n, err := f.ReadAt(buf, off)
+				st.BytesRead += int64(n)
+				off += uint64(n)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					f.Close()
+					return st, fmt.Errorf("txn read: %w", err)
+				}
+			}
+			f.Close()
+			st.Read++
+		} else {
+			f, err := c.Open(target.path)
+			if err != nil {
+				return st, fmt.Errorf("txn append open: %w", err)
+			}
+			chunk := synthData(cfg.Seed+int64(t), cfg.BlockSize)
+			if _, err := f.WriteAt(chunk, uint64(target.size)); err != nil {
+				f.Close()
+				return st, fmt.Errorf("txn append: %w", err)
+			}
+			f.Close()
+			pool[idx].size += cfg.BlockSize
+			st.BytesWrit += int64(cfg.BlockSize)
+			st.Appended++
+		}
+
+		if r.Intn(10) < cfg.CreateBias {
+			if err := createOne(); err != nil {
+				return st, fmt.Errorf("txn create: %w", err)
+			}
+		} else {
+			victim := r.Intn(len(pool))
+			if err := c.Remove(pool[victim].path); err != nil {
+				return st, fmt.Errorf("txn delete: %w", err)
+			}
+			pool[victim] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			st.Deleted++
+		}
+	}
+
+	// Phase 3: delete remaining files.
+	for _, f := range pool {
+		if err := c.Remove(f.path); err != nil {
+			return st, fmt.Errorf("cleanup: %w", err)
+		}
+		st.Deleted++
+	}
+
+	st.Elapsed = clk.Now() - start
+	return st, nil
+}
+
+// writeChunks writes a file in block-size chunks through the page cache and
+// closes it (flushing), as PostMark's create does.
+func writeChunks(c *nfsclient.Client, path string, size, blockSize int, seed int64) error {
+	f, err := c.Create(path, 0o644, false)
+	if err != nil {
+		return err
+	}
+	data := synthData(seed, size)
+	for off := 0; off < size; off += blockSize {
+		end := off + blockSize
+		if end > size {
+			end = size
+		}
+		if _, err := f.WriteAt(data[off:end], uint64(off)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,300 @@
+package workload_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/gvfs"
+	"repro/internal/core"
+	"repro/internal/nfsclient"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+const thirty = 30 * time.Second
+
+func newDeployment(t *testing.T) *gvfs.Deployment {
+	t.Helper()
+	d, err := gvfs.NewDeployment(gvfs.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestMakeBenchmarkRunsOnDirectNFS(t *testing.T) {
+	d := newDeployment(t)
+	cfg := workload.MakeConfig{Sources: 20, Headers: 10, Objects: 8, HeadersPerSource: 5, CompileTime: 100 * time.Millisecond, LinkTime: time.Second}
+	if err := workload.SetupMakeTree(d.FS, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d.Run("make", func() {
+		m, err := d.DirectMount("C1", nfsclient.Options{AttrMin: thirty, AttrMax: thirty})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st, err := workload.RunMake(d.Clock, m.Client, cfg)
+		if err != nil {
+			t.Errorf("make: %v", err)
+			return
+		}
+		if st.Compiled != 20 || st.ReadErrors != 0 || st.WriteErrors != 0 {
+			t.Errorf("stats = %+v", st)
+		}
+		if st.Elapsed < 3*time.Second {
+			t.Errorf("elapsed %v suspiciously small (compute alone is 3s)", st.Elapsed)
+		}
+		// The build must actually have produced objects on the server.
+		if _, err := d.FS.LookupPath("src/obj/o000.o"); err != nil {
+			t.Errorf("object missing on server: %v", err)
+		}
+	})
+}
+
+func TestMakeFasterOnGVFSThanNFSInWAN(t *testing.T) {
+	cfg := workload.MakeConfig{Sources: 30, Headers: 15, Objects: 10, HeadersPerSource: 8, CompileTime: 50 * time.Millisecond, LinkTime: time.Second}
+
+	run := func(t *testing.T, useGVFS bool) time.Duration {
+		d := newDeployment(t)
+		if err := workload.SetupMakeTree(d.FS, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var elapsed time.Duration
+		d.Run("make", func() {
+			var m *gvfs.Mount
+			var err error
+			if useGVFS {
+				sess, serr := d.NewSession("make", core.Config{Model: core.ModelPolling, PollPeriod: thirty})
+				if serr != nil {
+					t.Error(serr)
+					return
+				}
+				m, err = sess.Mount("C1", nfsclient.Options{AttrMin: thirty, AttrMax: thirty})
+			} else {
+				m, err = d.DirectMount("C1", nfsclient.Options{AttrMin: thirty, AttrMax: thirty})
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			st, err := workload.RunMake(d.Clock, m.Client, cfg)
+			if err != nil {
+				t.Errorf("make: %v", err)
+				return
+			}
+			elapsed = st.Elapsed
+		})
+		return elapsed
+	}
+
+	nfsTime := run(t, false)
+	gvfsTime := run(t, true)
+	if gvfsTime >= nfsTime {
+		t.Errorf("GVFS (%v) not faster than NFS (%v) in WAN", gvfsTime, nfsTime)
+	}
+}
+
+func TestPostMarkRuns(t *testing.T) {
+	d := newDeployment(t)
+	cfg := workload.PostMarkConfig{Files: 30, Transactions: 40, MinSize: 8 * 1024, MaxSize: 64 * 1024, Subdirs: 5}
+	d.Run("postmark", func() {
+		m, err := d.DirectMount("C1", nfsclient.Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st, err := workload.RunPostMark(d.Clock, m.Client, cfg)
+		if err != nil {
+			t.Errorf("postmark: %v", err)
+			return
+		}
+		if st.Created < 30 || st.Created != st.Deleted {
+			t.Errorf("created %d, deleted %d; pool must drain fully", st.Created, st.Deleted)
+		}
+		if st.Read == 0 || st.Appended == 0 {
+			t.Errorf("transaction mix degenerate: %+v", st)
+		}
+		// Everything deleted: pm subdirs empty.
+		names, _ := m.Client.ReadDir("pm/s00")
+		if len(names) != 0 {
+			t.Errorf("leftover files after cleanup: %v", names)
+		}
+	})
+}
+
+func TestLockBenchmarkMutualExclusion(t *testing.T) {
+	d := newDeployment(t)
+	if err := workload.SetupLockDir(d.FS); err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.LockConfig{Clients: 3, Acquisitions: 3, HoldTime: 2 * time.Second, RetryPause: 500 * time.Millisecond, RejoinPause: 500 * time.Millisecond}
+	d.Run("lock", func() {
+		sess, _ := d.NewSession("locks", core.Config{Model: core.ModelDelegation})
+		var mounts []*nfsclient.Client
+		for i := 0; i < cfg.Clients; i++ {
+			m, err := sess.Mount(fmt.Sprintf("C%d", i+1), nfsclient.Options{NoAC: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mounts = append(mounts, m.Client)
+		}
+		st, err := workload.RunLock(d.Clock, workload.WrapNFS(mounts), cfg)
+		if err != nil {
+			t.Errorf("lock: %v", err)
+			return
+		}
+		if len(st.Sequence) != cfg.Clients*cfg.Acquisitions {
+			t.Errorf("acquisitions = %d, want %d", len(st.Sequence), cfg.Clients*cfg.Acquisitions)
+		}
+		// Mutual exclusion: acquisitions must be spaced by at least the
+		// hold time.
+		for i := 1; i < len(st.Sequence); i++ {
+			if gap := st.Sequence[i].At - st.Sequence[i-1].At; gap < cfg.HoldTime {
+				t.Errorf("overlapping critical sections: gap %v < hold %v", gap, cfg.HoldTime)
+			}
+		}
+		wins := st.PerClientWins(cfg.Clients)
+		for i, w := range wins {
+			if w != cfg.Acquisitions {
+				t.Errorf("client %d won %d times, want %d", i, w, cfg.Acquisitions)
+			}
+		}
+	})
+}
+
+func TestLockFairnessStrongVsWeak(t *testing.T) {
+	cfg := workload.LockConfig{Clients: 3, Acquisitions: 4, HoldTime: 3 * time.Second, RetryPause: time.Second, RejoinPause: time.Second}
+
+	run := func(t *testing.T, strong bool) workload.LockStats {
+		d := newDeployment(t)
+		if err := workload.SetupLockDir(d.FS); err != nil {
+			t.Fatal(err)
+		}
+		var st workload.LockStats
+		d.Run("lock", func() {
+			var mounts []*nfsclient.Client
+			for i := 0; i < cfg.Clients; i++ {
+				var err error
+				var m *gvfs.Mount
+				if strong {
+					m, err = d.DirectMount(fmt.Sprintf("C%d", i+1), nfsclient.Options{NoAC: true})
+				} else {
+					m, err = d.DirectMount(fmt.Sprintf("C%d", i+1), nfsclient.Options{AttrMin: thirty, AttrMax: thirty})
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mounts = append(mounts, m.Client)
+			}
+			var err error
+			st, err = workload.RunLock(d.Clock, workload.WrapNFS(mounts), cfg)
+			if err != nil {
+				t.Errorf("lock: %v", err)
+			}
+		})
+		return st
+	}
+
+	weak := run(t, false)
+	strong := run(t, true)
+	if len(weak.Sequence) == 0 || len(strong.Sequence) == 0 {
+		t.Fatal("benchmark produced no acquisitions")
+	}
+	// The weak-consistency run exhibits more back-to-back reacquisition and
+	// takes longer (Figure 6's observation).
+	if weak.Reacquisitions() <= strong.Reacquisitions() {
+		t.Logf("weak reacq=%d strong reacq=%d (informational)", weak.Reacquisitions(), strong.Reacquisitions())
+	}
+	if weak.Elapsed <= strong.Elapsed {
+		t.Errorf("weak consistency run (%v) not slower than strong (%v)", weak.Elapsed, strong.Elapsed)
+	}
+}
+
+func TestNanoMOSScenario(t *testing.T) {
+	d := newDeployment(t)
+	cfg := workload.NanoMOSConfig{
+		Clients: 2, Iterations: 4, UpdateAfter: 2, Scale: 100,
+		ComputeTime: 2 * time.Second,
+	}
+	if err := workload.SetupNanoMOSRepo(d.FS, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d.Net.SetLink("admin", "server", simnet.LAN)
+	d.Run("nanomos", func() {
+		sess, _ := d.NewSession("repo", core.Config{Model: core.ModelPolling, PollPeriod: 10 * time.Second, MaxHandlesPerReply: 512})
+		var mounts []*nfsclient.Client
+		for i := 0; i < cfg.Clients; i++ {
+			m, err := sess.Mount(fmt.Sprintf("C%d", i+1), nfsclient.Options{AttrMin: thirty, AttrMax: thirty})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mounts = append(mounts, m.Client)
+		}
+		admin, err := sess.Mount("admin", nfsclient.Options{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+
+		var runtimes []time.Duration
+		for iter := 1; iter <= cfg.Iterations; iter++ {
+			if iter == cfg.UpdateAfter+1 {
+				if err := workload.ApplyUpdate(admin.Client, cfg); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+				d.Clock.Sleep(12 * time.Second) // let invalidations propagate
+			}
+			rt, errs := workload.RunNanoMOSIteration(d.Clock, mounts, cfg)
+			if errs > 0 {
+				t.Errorf("iteration %d had %d errors", iter, errs)
+				return
+			}
+			runtimes = append(runtimes, rt)
+			d.Clock.Sleep(5 * time.Second)
+		}
+		// Warm iterations (2..UpdateAfter) must be much faster than the
+		// cold first one.
+		if runtimes[1] >= runtimes[0] {
+			t.Errorf("warm run %v not faster than cold run %v", runtimes[1], runtimes[0])
+		}
+	})
+}
+
+func TestCH1DScenario(t *testing.T) {
+	d := newDeployment(t)
+	cfg := workload.CH1DConfig{Runs: 5, FilesPerRun: 6, FileSize: 20 * 1024, ProduceTime: time.Second, ProcessTime: time.Second}
+	d.Run("ch1d", func() {
+		sess, _ := d.NewSession("data", core.Config{Model: core.ModelDelegation})
+		prod, err := sess.Mount("site", nfsclient.Options{NoAC: true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cons, err := sess.Mount("center", nfsclient.Options{NoAC: true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st, err := workload.RunCH1D(d.Clock, prod.Client, cons.Client, cfg)
+		if err != nil {
+			t.Errorf("ch1d: %v", err)
+			return
+		}
+		if len(st.RunTimes) != cfg.Runs {
+			t.Errorf("runs recorded = %d", len(st.RunTimes))
+			return
+		}
+		for i, n := range st.FilesProcessed {
+			if n != (i+1)*cfg.FilesPerRun {
+				t.Errorf("run %d processed %d files, want %d", i+1, n, (i+1)*cfg.FilesPerRun)
+			}
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntegerRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(0xDEADBEEF)
+	e.Int32(-42)
+	e.Uint64(1 << 60)
+	e.Int64(-1)
+	e.Bool(true)
+	e.Bool(false)
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", v)
+	}
+	if v, _ := d.Int32(); v != -42 {
+		t.Errorf("Int32 = %d", v)
+	}
+	if v, _ := d.Uint64(); v != 1<<60 {
+		t.Errorf("Uint64 = %#x", v)
+	}
+	if v, _ := d.Int64(); v != -1 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Error("Bool #1 = false")
+	}
+	if v, _ := d.Bool(); v {
+		t.Error("Bool #2 = true")
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder()
+		payload := bytes.Repeat([]byte{0x5A}, n)
+		e.Opaque(payload)
+		if e.Len()%4 != 0 {
+			t.Fatalf("opaque of %d bytes encoded to unaligned length %d", n, e.Len())
+		}
+		wantLen := 4 + n + (4-n%4)%4
+		if e.Len() != wantLen {
+			t.Fatalf("opaque of %d bytes encoded to %d, want %d", n, e.Len(), wantLen)
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque(0)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("opaque round trip mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.String("hello, wide area")
+	e.String("")
+	d := NewDecoder(e.Bytes())
+	if s, _ := d.String(0); s != "hello, wide area" {
+		t.Errorf("String = %q", s)
+	}
+	if s, _ := d.String(0); s != "" {
+		t.Errorf("empty String = %q", s)
+	}
+}
+
+func TestBoundedLengthRejected(t *testing.T) {
+	e := NewEncoder()
+	e.Opaque(make([]byte, 100))
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Opaque(64); !errors.Is(err, ErrLength) {
+		t.Fatalf("err = %v, want ErrLength", err)
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Uint32 err = %v", err)
+	}
+	if _, err := d.Uint64(); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("Uint64 err = %v", err)
+	}
+	// Opaque with a declared length longer than the buffer.
+	e := NewEncoder()
+	e.Uint32(1000)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Opaque(0); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("truncated Opaque err = %v", err)
+	}
+	// Truncated padding.
+	d = NewDecoder([]byte{0, 0, 0, 2, 'a', 'b'})
+	if _, err := d.Opaque(0); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("truncated padding err = %v", err)
+	}
+}
+
+func TestDecodedOpaqueIsACopy(t *testing.T) {
+	e := NewEncoder()
+	e.Opaque([]byte{1, 2, 3, 4})
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got, err := d.Opaque(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[4] = 99
+	if got[0] != 1 {
+		t.Fatal("decoded opaque aliases the input buffer")
+	}
+}
+
+func TestPropertyOpaqueRoundTrip(t *testing.T) {
+	f := func(b []byte, prefix uint32, suffix int64) bool {
+		e := NewEncoder()
+		e.Uint32(prefix)
+		e.Opaque(b)
+		e.Int64(suffix)
+		d := NewDecoder(e.Bytes())
+		p, err := d.Uint32()
+		if err != nil || p != prefix {
+			return false
+		}
+		got, err := d.Opaque(0)
+		if err != nil || !bytes.Equal(got, b) {
+			return false
+		}
+		s, err := d.Int64()
+		return err == nil && s == suffix && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		e := NewEncoder()
+		e.String(s)
+		d := NewDecoder(e.Bytes())
+		got, err := d.String(0)
+		return err == nil && got == s && e.Len()%4 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecoderNeverPanicsOnJunk(t *testing.T) {
+	f := func(junk []byte) bool {
+		d := NewDecoder(junk)
+		for d.Remaining() > 0 {
+			if _, err := d.Opaque(1 << 20); err != nil {
+				return true // errors are fine; panics are not
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
