@@ -1,0 +1,597 @@
+package gvfs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfsclient"
+	"repro/internal/simnet"
+)
+
+// This file is the chaos harness: N concurrent mounts driven through a
+// random operation schedule while a seeded fault plan disrupts the wide
+// area (drops, duplicates, reordering, jitter, partition/heal cycles,
+// proxy-server crash/restarts), with every observed read checked against
+// the visibility rules of the configured consistency model.
+//
+// The checker is deliberately assertion-per-model, not shadow-state: under
+// write-back caching two concurrent writers give last-FLUSH-wins, not
+// last-write-wins, so a read is judged against the set of writes that are
+// *plausible* at its virtual time. A write w stops being plausible only
+// when some anchor write wa provably supersedes it: wa started after w's
+// last possible server landing (w.end + flushLag), and wa is either (a)
+// globally propagated (its visibility deadline passed before the read
+// began), (b) the reading client's own earlier write (read-your-writes), or
+// (c) a value this client already observed (monotonic reads). Failed ops
+// are indeterminate: plausible forever, never excluders.
+//
+// The staleness windows are per model. Polling (Section 4.2) bounds
+// staleness by the poll window — but only while polls succeed, so a
+// partition extends the bound by its duration. Delegation (Section 4.3)
+// bounds it by the DelegRenew forwarding lease that covers lost callbacks.
+
+// ChaosOptions parameterizes a chaos run. Zero values select defaults.
+type ChaosOptions struct {
+	// Model is the consistency model under test (default ModelPolling).
+	Model core.Model
+	// Clients is the number of concurrent client mounts (default 2).
+	Clients int
+	// Steps is the number of operations each client performs (default 120).
+	Steps int
+	// Seed drives the op schedule, the fault plan, and the link PRNGs.
+	Seed int64
+	// Files is the number of shared paths clients contend on (default 6).
+	Files int
+	// ValueSize is the fixed byte size of every file (default 64). Writes
+	// are whole-value overwrites at offset zero so the files never change
+	// size and every read/write is a single atomic RPC.
+	ValueSize int
+	// Faults is the per-link fault policy installed between every client
+	// host and the server host once setup completes. Its Seed field is
+	// overwritten with Seed.
+	Faults simnet.Faults
+	// Partitions is the number of partition/heal cycles, each isolating
+	// one client host from the server for 10–25 s (default 1; -1 for
+	// none).
+	Partitions int
+	// ServerRestarts is the number of proxy-server crash/restarts
+	// (default 1; -1 for none).
+	ServerRestarts int
+	// OpGap bounds the random think time between a client's operations
+	// (default 3s; actual gaps are 500ms + uniform[0, OpGap)).
+	OpGap time.Duration
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Model == 0 {
+		o.Model = core.ModelPolling
+	}
+	if o.Clients == 0 {
+		o.Clients = 2
+	}
+	if o.Steps == 0 {
+		o.Steps = 120
+	}
+	if o.Files == 0 {
+		o.Files = 6
+	}
+	if o.ValueSize == 0 {
+		o.ValueSize = 64
+	}
+	// Negative counts mean "none" and survive repeated normalization
+	// (withDefaults must be idempotent: RunChaos and NewChaosPlan both
+	// apply it).
+	if o.Partitions == 0 {
+		o.Partitions = 1
+	}
+	if o.ServerRestarts == 0 {
+		o.ServerRestarts = 1
+	}
+	if o.OpGap == 0 {
+		o.OpGap = 3 * time.Second
+	}
+	o.Faults.Seed = o.Seed
+	return o
+}
+
+// ChaosEvent is one scheduled disruption, in virtual time from the start
+// of the op phase.
+type ChaosEvent struct {
+	At   time.Duration
+	Kind string // "partition", "heal", "restart-server"
+	Host string // the isolated client host for partition/heal
+}
+
+// ChaosPlan is the deterministic disruption schedule derived from a seed.
+type ChaosPlan struct {
+	Seed   int64
+	Faults simnet.Faults
+	Events []ChaosEvent
+}
+
+// maxPartition bounds every partition's duration; the checker's staleness
+// windows depend on it.
+const maxPartition = 25 * time.Second
+
+// NewChaosPlan derives the disruption schedule from the options alone, so
+// the same seed always yields the same plan.
+func NewChaosPlan(o ChaosOptions) ChaosPlan {
+	o = o.withDefaults()
+	r := rand.New(rand.NewSource(o.Seed ^ 0x5eedfa17))
+	// Ops span roughly Steps * (500ms + OpGap/2); schedule disruptions
+	// inside the middle 70% so setup and drain stay clean.
+	span := time.Duration(o.Steps) * (500*time.Millisecond + o.OpGap/2)
+	lo, hi := span/10, span*8/10
+	randAt := func() time.Duration {
+		return lo + time.Duration(r.Int63n(int64(hi-lo)))
+	}
+	plan := ChaosPlan{Seed: o.Seed, Faults: o.Faults}
+	for i := 0; i < max(0, o.Partitions); i++ {
+		at := randAt()
+		host := chaosHost(r.Intn(o.Clients))
+		dur := 10*time.Second + time.Duration(r.Int63n(int64(maxPartition-10*time.Second)))
+		plan.Events = append(plan.Events,
+			ChaosEvent{At: at, Kind: "partition", Host: host},
+			ChaosEvent{At: at + dur, Kind: "heal", Host: host},
+		)
+	}
+	for i := 0; i < max(0, o.ServerRestarts); i++ {
+		plan.Events = append(plan.Events, ChaosEvent{At: randAt(), Kind: "restart-server"})
+	}
+	sort.Slice(plan.Events, func(i, j int) bool { return plan.Events[i].At < plan.Events[j].At })
+	return plan
+}
+
+func chaosHost(i int) string { return fmt.Sprintf("C%d", i+1) }
+
+// ChaosReport summarizes a chaos run for assertions and debugging.
+type ChaosReport struct {
+	Plan       ChaosPlan
+	Ops        int
+	Reads      int
+	Writes     int
+	OpErrors   int // ops that returned an error (indeterminate, not violations)
+	// ErrorSamples holds up to 10 formatted op errors for debugging.
+	ErrorSamples []string
+	Violations   []string
+
+	// NetEvents is the applied partition/heal log in simnet's stamped
+	// virtual time: comparing it across runs asserts that a seeded plan
+	// replays identically.
+	NetEvents []simnet.Event
+	NetStats  simnet.Stats
+	Restarts  int
+
+	ClientStats core.ProxyClientStats // summed over all mounts
+	ServerStats core.ProxyServerStats // the final server incarnation
+}
+
+// chaosOp is one recorded operation; the checker replays these after the
+// run completes.
+type chaosOp struct {
+	kind       byte // 'w', 'r', 's'
+	path       string
+	start, end time.Duration
+	err        error
+	val        string // payload written, or observed by a read
+	size       uint64 // stat result
+	wr         *chaosWrite
+}
+
+// chaosWrite is the checker's record of one write (client -1 is the
+// initial server-side contents).
+type chaosWrite struct {
+	client     int
+	seq        int
+	start, end time.Duration
+	failed     bool
+}
+
+const farPast = time.Duration(math.MinInt64 / 4)
+
+// flushEnd is the last virtual time at which w's data can still land on
+// (or overwrite) the server.
+func (w *chaosWrite) flushEnd(flushLag time.Duration) time.Duration {
+	if w.client < 0 {
+		return w.start // initial contents: on the server from the start
+	}
+	return w.end + flushLag
+}
+
+func chaosValue(client, seq, size int) string {
+	s := fmt.Sprintf("v|%d|%06d|", client, seq)
+	if len(s) < size {
+		s += strings.Repeat(".", size-len(s))
+	}
+	return s
+}
+
+// parseChaosValue recovers (client, seq) from a payload; ok is false for
+// anything the harness never wrote.
+func parseChaosValue(s string) (client, seq int, ok bool) {
+	parts := strings.SplitN(s, "|", 4)
+	if len(parts) != 4 || parts[0] != "v" {
+		return 0, 0, false
+	}
+	c, err1 := strconv.Atoi(parts[1])
+	q, err2 := strconv.Atoi(parts[2])
+	return c, q, err1 == nil && err2 == nil
+}
+
+// RunChaos stands up a fresh deployment, executes the seeded chaos
+// schedule, and returns the checked report. The error covers harness
+// failures (setup, final server state unreadable); consistency violations
+// are reported in ChaosReport.Violations.
+func RunChaos(o ChaosOptions) (*ChaosReport, error) {
+	o = o.withDefaults()
+	plan := NewChaosPlan(o)
+
+	d, err := NewDeployment(Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	cfg := core.Config{
+		Model:          o.Model,
+		PollPeriod:     10 * time.Second,
+		PollBackoffMax: 10 * time.Second, // no idle backoff: keep the poll window fixed
+		FlushInterval:  10 * time.Second,
+		CallTimeout:    4 * time.Second,
+		DelegRenew:     30 * time.Second,
+		DelegExpiry:    2 * time.Minute,
+	}
+	if o.Model == core.ModelPolling {
+		cfg.WriteBack = true
+	}
+	// rpcSlack: up to 3 rawCall attempts (timeout + redial pause) plus margin.
+	rpcSlack := 3*(cfg.CallTimeout+time.Second) + 5*time.Second
+	// flushLag: how long after an op returns its data can still land on the
+	// server — a flush tick, blocked for a whole partition, plus the retry
+	// tick after the heal.
+	flushLag := 2*cfg.FlushInterval + maxPartition + rpcSlack + 10*time.Second
+	// propLag: how long after landing a value can remain invisible to other
+	// clients. Polling: the poll window, extended by a partition that
+	// blocks GETINV. Delegation: the DelegRenew forwarding lease that
+	// bounds serving after a lost callback (a partition cannot extend it —
+	// the lease is time-based).
+	var propLag time.Duration
+	if o.Model == core.ModelPolling {
+		propLag = cfg.PollPeriod + maxPartition + rpcSlack + 10*time.Second
+	} else {
+		propLag = cfg.DelegRenew + rpcSlack + 10*time.Second
+	}
+
+	rep := &ChaosReport{Plan: plan}
+	paths := make([]string, o.Files)
+	writes := make(map[string][]*chaosWrite, o.Files)
+	logs := make([][]chaosOp, o.Clients)
+	mounts := make([]*Mount, o.Clients)
+	var sess *Session
+	var runErr error
+
+	d.Run("chaos", func() {
+		// Setup: session, initial server-side contents, one mount per host.
+		sess, runErr = d.NewSession("chaos", cfg)
+		if runErr != nil {
+			return
+		}
+		initTime := d.Clock.Now()
+		for i := range paths {
+			paths[i] = fmt.Sprintf("chaos/f%d", i)
+			if _, err := d.FS.WriteFile(paths[i], []byte(chaosValue(-1, 0, o.ValueSize))); err != nil {
+				runErr = fmt.Errorf("chaos: seed %s: %w", paths[i], err)
+				return
+			}
+			writes[paths[i]] = []*chaosWrite{{client: -1, start: initTime, end: initTime}}
+		}
+		for i := range mounts {
+			// NoAC so the kernel client revalidates attributes on every
+			// access: observed staleness is then purely the proxies'.
+			m, err := sess.Mount(chaosHost(i), nfsclient.Options{NoAC: true})
+			if err != nil {
+				runErr = fmt.Errorf("chaos: mount %s: %w", chaosHost(i), err)
+				return
+			}
+			mounts[i] = m
+		}
+
+		// Chaos begins: install the fault policy on every client<->server
+		// link and let the driver apply the scheduled disruptions.
+		t0 := d.Clock.Now()
+		for i := 0; i < o.Clients; i++ {
+			d.Net.SetFaults(chaosHost(i), "server", plan.Faults)
+		}
+		var restartMu sync.Mutex
+		g := d.NewGroup()
+		g.Go("chaos-driver", func() {
+			for _, ev := range plan.Events {
+				if until := t0 + ev.At - d.Clock.Now(); until > 0 {
+					d.Clock.Sleep(until)
+				}
+				switch ev.Kind {
+				case "partition":
+					d.Net.Partition(ev.Host, "server")
+				case "heal":
+					d.Net.Heal(ev.Host, "server")
+				case "restart-server":
+					if err := sess.RestartProxyServer(); err != nil {
+						restartMu.Lock()
+						rep.Violations = append(rep.Violations,
+							fmt.Sprintf("driver: restart proxy server: %v", err))
+						restartMu.Unlock()
+						continue
+					}
+					restartMu.Lock()
+					rep.Restarts++
+					restartMu.Unlock()
+				}
+			}
+		})
+		for i := range mounts {
+			i := i
+			g.Go(fmt.Sprintf("chaos-%s", chaosHost(i)), func() {
+				logs[i] = chaosClientLoop(d, mounts[i], i, o, paths)
+			})
+		}
+		g.Wait()
+
+		// Drain: lift the faults, then wait out every window so all dirty
+		// data lands and every cache converges before the final check.
+		for i := 0; i < o.Clients; i++ {
+			d.Net.SetFaults(chaosHost(i), "server", simnet.Faults{})
+		}
+		d.Clock.Sleep(flushLag + propLag + 30*time.Second)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Merge write records into per-path history, then check every read.
+	for _, log := range logs {
+		for i := range log {
+			op := &log[i]
+			rep.Ops++
+			if op.err != nil {
+				rep.OpErrors++
+				if len(rep.ErrorSamples) < 10 {
+					rep.ErrorSamples = append(rep.ErrorSamples, fmt.Sprintf(
+						"%c %s at %v: %v", op.kind, op.path, op.end, op.err))
+				}
+			}
+			if op.kind == 'w' {
+				rep.Writes++
+				writes[op.path] = append(writes[op.path], op.wr)
+			}
+		}
+	}
+	for client, log := range logs {
+		rep.Violations = append(rep.Violations,
+			checkClientLog(client, log, writes, flushLag, propLag, o)...)
+		for i := range log {
+			if log[i].kind == 'r' {
+				rep.Reads++
+			}
+		}
+	}
+	if v, err := checkFinalServerState(d, paths, writes, flushLag); err != nil {
+		return nil, err
+	} else {
+		rep.Violations = append(rep.Violations, v...)
+	}
+
+	rep.NetEvents = d.Net.Events()
+	rep.NetStats = d.Net.TotalStats()
+	for _, m := range mounts {
+		s := m.Proxy.Stats()
+		rep.ClientStats.LocalHits += s.LocalHits
+		rep.ClientStats.Forwards += s.Forwards
+		rep.ClientStats.Invalidations += s.Invalidations
+		rep.ClientStats.ForceInvalidations += s.ForceInvalidations
+		rep.ClientStats.Recalls += s.Recalls
+		rep.ClientStats.FlushedBlocks += s.FlushedBlocks
+		rep.ClientStats.UpstreamRetries += s.UpstreamRetries
+		rep.ClientStats.FlushErrors += s.FlushErrors
+	}
+	rep.ServerStats = sess.ProxyServer().Stats()
+	return rep, nil
+}
+
+// chaosClientLoop runs one client's random op schedule and records every
+// operation with its virtual-time interval.
+func chaosClientLoop(d *Deployment, m *Mount, client int, o ChaosOptions, paths []string) []chaosOp {
+	r := rand.New(rand.NewSource(o.Seed + 1000*int64(client+1)))
+	log := make([]chaosOp, 0, o.Steps)
+	seq := 0
+	for step := 0; step < o.Steps; step++ {
+		p := paths[r.Intn(len(paths))]
+		op := chaosOp{path: p, start: d.Clock.Now()}
+		switch roll := r.Intn(10); {
+		case roll < 4: // whole-value overwrite at offset 0 (never truncates)
+			seq++
+			op.kind = 'w'
+			op.val = chaosValue(client, seq, o.ValueSize)
+			op.err = chaosWriteOp(m, p, op.val)
+			op.end = d.Clock.Now()
+			op.wr = &chaosWrite{
+				client: client, seq: seq,
+				start: op.start, end: op.end,
+				failed: op.err != nil,
+			}
+		case roll < 8: // read
+			op.kind = 'r'
+			var data []byte
+			data, op.err = m.Client.ReadFile(p)
+			op.end = d.Clock.Now()
+			op.val = string(data)
+		default: // stat
+			op.kind = 's'
+			var attr, err = m.Client.Stat(p)
+			op.err = err
+			op.end = d.Clock.Now()
+			op.size = attr.Size
+		}
+		log = append(log, op)
+		d.Clock.Sleep(500*time.Millisecond + time.Duration(r.Int63n(int64(o.OpGap))))
+	}
+	return log
+}
+
+// chaosWriteOp overwrites p's full value in place. It must not use
+// Client.WriteFile, which creates (and so truncates) the file: keeping the
+// size fixed makes every access a single atomic RPC.
+func chaosWriteOp(m *Mount, p, val string) error {
+	f, err := m.Client.Open(p)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt([]byte(val), 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close() // Close syncs: the WRITE reaches the proxy here
+}
+
+// checkClientLog validates one client's reads and stats against the
+// per-model visibility rules, returning violation descriptions.
+func checkClientLog(client int, log []chaosOp, writes map[string][]*chaosWrite, flushLag, propLag time.Duration, o ChaosOptions) []string {
+	var out []string
+	// Anchors per path: the start time of this client's own last
+	// successful write (read-your-writes) and of the newest value it has
+	// observed (monotonic reads). Ops are sequential per client, so every
+	// earlier op ended before the current one started.
+	ownAnchor := map[string]time.Duration{}
+	seenAnchor := map[string]time.Duration{}
+	anchorOf := func(p string, readStart time.Duration) time.Duration {
+		anchor := farPast
+		if a, ok := ownAnchor[p]; ok && a > anchor {
+			anchor = a
+		}
+		if a, ok := seenAnchor[p]; ok && a > anchor {
+			anchor = a
+		}
+		// Globally propagated writes exclude regardless of who reads.
+		for _, w := range writes[p] {
+			if !w.failed && w.client >= 0 && w.end+flushLag+propLag <= readStart && w.start > anchor {
+				anchor = w.start
+			}
+		}
+		return anchor
+	}
+
+	for i := range log {
+		op := &log[i]
+		switch op.kind {
+		case 'w':
+			if op.err == nil {
+				if op.start > ownAnchor[op.path] {
+					ownAnchor[op.path] = op.start
+				}
+			}
+		case 's':
+			if op.err == nil && op.size != uint64(o.ValueSize) {
+				out = append(out, fmt.Sprintf(
+					"C%d stat %s at %v: size %d, want fixed %d",
+					client+1, op.path, op.end, op.size, o.ValueSize))
+			}
+		case 'r':
+			if op.err != nil {
+				continue // indeterminate
+			}
+			wc, seq, ok := parseChaosValue(op.val)
+			if !ok {
+				out = append(out, fmt.Sprintf(
+					"C%d read %s at %v: unparseable value %q",
+					client+1, op.path, op.end, op.val))
+				continue
+			}
+			var w *chaosWrite
+			for _, cand := range writes[op.path] {
+				if cand.client == wc && cand.seq == seq {
+					w = cand
+					break
+				}
+			}
+			if w == nil {
+				out = append(out, fmt.Sprintf(
+					"C%d read %s at %v: value (client %d, seq %d) was never written",
+					client+1, op.path, op.end, wc, seq))
+				continue
+			}
+			if w.start > op.end {
+				out = append(out, fmt.Sprintf(
+					"C%d read %s at %v: observed write (client %d, seq %d) from the future (starts %v)",
+					client+1, op.path, op.end, wc, seq, w.start))
+				continue
+			}
+			// Failed writes are indeterminate: their data may land at any
+			// point (e.g. retried from a surviving cache), so they stay
+			// plausible and are checked only against the future rule.
+			if !w.failed {
+				if anchor := anchorOf(op.path, op.start); w.flushEnd(flushLag) < anchor {
+					out = append(out, fmt.Sprintf(
+						"C%d read %s at %v: stale value (client %d, seq %d, flush deadline %v) superseded by a write at %v",
+						client+1, op.path, op.end, wc, seq, w.flushEnd(flushLag), anchor))
+					continue
+				}
+			}
+			// Monotonic reads: this value was on the server no earlier
+			// than w.start, so anything that must have flushed before then
+			// can never be observed by this client again.
+			if w.start > seenAnchor[op.path] {
+				seenAnchor[op.path] = w.start
+			}
+		}
+	}
+	return out
+}
+
+// checkFinalServerState verifies, after the drain, that every path's
+// server-side contents is some write not provably superseded.
+func checkFinalServerState(d *Deployment, paths []string, writes map[string][]*chaosWrite, flushLag time.Duration) ([]string, error) {
+	var out []string
+	for _, p := range paths {
+		attr, err := d.FS.LookupPath(p)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: final lookup %s: %w", p, err)
+		}
+		buf := make([]byte, attr.Size)
+		if attr.Size > 0 {
+			if _, _, err := d.FS.ReadAt(attr.ID, buf, 0); err != nil {
+				return nil, fmt.Errorf("chaos: final read %s: %w", p, err)
+			}
+		}
+		wc, seq, ok := parseChaosValue(string(buf))
+		if !ok {
+			out = append(out, fmt.Sprintf("final %s: unparseable server value %q", p, buf))
+			continue
+		}
+		var w *chaosWrite
+		for _, cand := range writes[p] {
+			if cand.client == wc && cand.seq == seq {
+				w = cand
+				break
+			}
+		}
+		if w == nil {
+			out = append(out, fmt.Sprintf("final %s: server value (client %d, seq %d) was never written", p, wc, seq))
+			continue
+		}
+		for _, w2 := range writes[p] {
+			if w2 != w && !w2.failed && w2.start > w.flushEnd(flushLag) {
+				out = append(out, fmt.Sprintf(
+					"final %s: server kept (client %d, seq %d) despite a write at %v after its flush deadline %v",
+					p, wc, seq, w2.start, w.flushEnd(flushLag)))
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package gvfs
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// seedFlag lets a failing randomized test be replayed deterministically:
+//
+//	go test ./gvfs/ -run TestChaos -gvfs.seed=12345
+var seedFlag = flag.Int64("gvfs.seed", 0, "override the seed of randomized gvfs tests (0 = per-test default)")
+
+// testSeed resolves the seed for a randomized test and guarantees it is
+// printed when the test fails, so any failure is replayable.
+func testSeed(t *testing.T, def int64) int64 {
+	seed := def
+	if *seedFlag != 0 {
+		seed = *seedFlag
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay with: go test ./gvfs/ -run '%s' -gvfs.seed=%d", t.Name(), seed)
+		}
+	})
+	return seed
+}
+
+func chaosFaults() simnet.Faults {
+	return simnet.Faults{
+		DropProb:    0.02,
+		DupProb:     0.02,
+		ReorderProb: 0.05,
+		JitterMax:   5 * time.Millisecond,
+	}
+}
+
+// TestChaosBothModels is the acceptance scenario: message drops,
+// duplication, a partition/heal cycle, and a proxy-server crash/restart
+// over concurrent clients, in both consistency models, with zero
+// visibility-rule violations.
+func TestChaosBothModels(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		model core.Model
+	}{
+		{"polling", core.ModelPolling},
+		{"delegation", core.ModelDelegation},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			seed := testSeed(t, 7)
+			rep, err := RunChaos(ChaosOptions{
+				Model:  mode.model,
+				Seed:   seed,
+				Faults: chaosFaults(),
+			})
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if rep.Restarts != 1 {
+				t.Errorf("proxy-server restarts = %d, want 1", rep.Restarts)
+			}
+			wantEvents := 0
+			for _, ev := range rep.Plan.Events {
+				if ev.Kind != "restart-server" {
+					wantEvents++
+				}
+			}
+			if len(rep.NetEvents) != wantEvents {
+				t.Errorf("applied %d partition/heal events, plan has %d: %+v",
+					len(rep.NetEvents), wantEvents, rep.NetEvents)
+			}
+			st := rep.NetStats
+			if st.FaultDrops == 0 || st.FaultDups == 0 || st.FaultReorders == 0 {
+				t.Errorf("fault counters not all active: %+v", st)
+			}
+			if st.Dropped == 0 {
+				t.Errorf("no partition drops despite a partition/heal cycle: %+v", st)
+			}
+			if rep.OpErrors == rep.Ops {
+				t.Errorf("every one of %d ops errored — harness not exercising the stack", rep.Ops)
+			}
+			t.Logf("%s: %d ops (%d writes, %d reads, %d errors), net %+v, client %+v",
+				mode.name, rep.Ops, rep.Writes, rep.Reads, rep.OpErrors, st, rep.ClientStats)
+		})
+	}
+}
+
+// TestChaosSeedReproducible re-runs the same seeded plan and asserts the
+// disruption schedule replays identically (same partition/heal events at
+// the same virtual times) and that fault injection was active both times.
+func TestChaosSeedReproducible(t *testing.T) {
+	seed := testSeed(t, 11)
+	opts := ChaosOptions{
+		Model:  core.ModelPolling,
+		Steps:  60,
+		Seed:   seed,
+		Faults: chaosFaults(),
+	}
+	r1, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	for _, rep := range []*ChaosReport{r1, r2} {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if len(r1.NetEvents) != len(r2.NetEvents) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(r1.NetEvents), len(r2.NetEvents))
+	}
+	for i := range r1.NetEvents {
+		if r1.NetEvents[i] != r2.NetEvents[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, r1.NetEvents[i], r2.NetEvents[i])
+		}
+	}
+	if s := r1.NetStats; s.FaultDrops == 0 || s.FaultDups == 0 {
+		t.Errorf("run 1 fault counters inactive: %+v", s)
+	}
+	if s := r2.NetStats; s.FaultDrops == 0 || s.FaultDups == 0 {
+		t.Errorf("run 2 fault counters inactive: %+v", s)
+	}
+}

@@ -149,12 +149,20 @@ func (d *Deployment) Close() {
 	sessions := append([]*Session(nil), d.sessions...)
 	mounts := append([]*Mount(nil), d.mounts...)
 	d.mu.Unlock()
-	for _, m := range mounts {
-		m.close()
-	}
-	for _, s := range sessions {
-		s.close()
-	}
+	// Unmounting flushes dirty blocks and stopping proxies issues upstream
+	// RPCs — clock-blocking work, so it must run as a managed actor (Close,
+	// like Run, is called from outside the simulation).
+	done := make(chan struct{})
+	d.Clock.Go("gvfs-close", func() {
+		defer close(done)
+		for _, m := range mounts {
+			m.close()
+		}
+		for _, s := range sessions {
+			s.close()
+		}
+	})
+	<-done
 	d.rpcSrv.Close()
 	d.Clock.Stop()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/nfs3"
@@ -38,7 +39,7 @@ func TestModelRandomOpsMatchShadow(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				runModel(t, d, m, 400, 99)
+				runModel(t, d, m, 400, testSeed(t, 99))
 			})
 		})
 	}
@@ -167,5 +168,153 @@ func runModel(t *testing.T, d *Deployment, m *Mount, steps int, seed int64) {
 		if !bytes.Equal(got, want) {
 			t.Fatalf("final: server copy of %s diverged (%d vs %d bytes)", p, len(got), len(want))
 		}
+	}
+}
+
+// TestModelMultiClientVisibility drives three concurrent mounts through a
+// directed write/read schedule and asserts each model's visibility
+// contract: polling bounds staleness by the flush + poll window; delegation
+// makes a completed write visible to the very next cross-client read (the
+// read triggers a recall that flushes the writer's dirty data first). Both
+// models must provide read-your-writes.
+func TestModelMultiClientVisibility(t *testing.T) {
+	readExpect := func(t *testing.T, m *Mount, path, want, when string) {
+		t.Helper()
+		got, err := m.Client.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %s reads %s: %v", when, m.Host(), path, err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s: %s read %q from %s, want %q", when, m.Host(), got, path, want)
+		}
+	}
+	write := func(t *testing.T, m *Mount, path, val, when string) {
+		t.Helper()
+		if err := m.Client.WriteFile(path, []byte(val)); err != nil {
+			t.Fatalf("%s: %s writes %s: %v", when, m.Host(), path, err)
+		}
+	}
+
+	t.Run("polling", func(t *testing.T) {
+		d := newDeployment(t)
+		d.Run("multi", func() {
+			cfg := core.Config{
+				Model:         core.ModelPolling,
+				WriteBack:     true,
+				PollPeriod:    10 * time.Second,
+				FlushInterval: 10 * time.Second,
+			}
+			sess, err := d.NewSession("multi", cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ms := mountClients(t, sess, 3)
+			d.FS.WriteFile("shared/f", []byte("v0"))
+			for _, m := range ms {
+				readExpect(t, m, "shared/f", "v0", "initial")
+			}
+
+			// The window within which a write-back write must become
+			// visible: a flush tick lands it, the next poll invalidates.
+			window := cfg.FlushInterval + cfg.PollPeriod + 10*time.Second
+
+			write(t, ms[0], "shared/f", "v1", "round 1")
+			readExpect(t, ms[0], "shared/f", "v1", "read-your-writes")
+			d.Clock.Sleep(window)
+			readExpect(t, ms[1], "shared/f", "v1", "after poll window")
+			readExpect(t, ms[2], "shared/f", "v1", "after poll window")
+
+			write(t, ms[1], "shared/f", "v2", "round 2")
+			readExpect(t, ms[1], "shared/f", "v2", "read-your-writes")
+			d.Clock.Sleep(window)
+			readExpect(t, ms[0], "shared/f", "v2", "after poll window")
+			readExpect(t, ms[2], "shared/f", "v2", "after poll window")
+		})
+	})
+
+	t.Run("delegation", func(t *testing.T) {
+		d := newDeployment(t)
+		d.Run("multi", func() {
+			sess, err := d.NewSession("multi", core.Config{Model: core.ModelDelegation})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ms := mountClients(t, sess, 3)
+			d.FS.WriteFile("shared/f", []byte("v0"))
+			for _, m := range ms {
+				readExpect(t, m, "shared/f", "v0", "initial")
+			}
+
+			// No sleeps: every cross-client read right after a write must
+			// already observe it (callback ordering recalls the writer's
+			// delegation and flushes before the read is served).
+			write(t, ms[0], "shared/f", "v1", "round 1")
+			readExpect(t, ms[0], "shared/f", "v1", "read-your-writes")
+			readExpect(t, ms[1], "shared/f", "v1", "immediate cross-client")
+			readExpect(t, ms[2], "shared/f", "v1", "immediate cross-client")
+
+			write(t, ms[1], "shared/f", "v2", "round 2")
+			readExpect(t, ms[1], "shared/f", "v2", "read-your-writes")
+			readExpect(t, ms[0], "shared/f", "v2", "immediate cross-client")
+			readExpect(t, ms[2], "shared/f", "v2", "immediate cross-client")
+
+			if st := ms[0].Proxy.Stats(); st.Recalls == 0 {
+				t.Error("no recalls on the first writer despite cross-client reads")
+			}
+		})
+	})
+}
+
+// mountClients mounts n NoAC kernel clients C1..Cn on the session.
+func mountClients(t *testing.T, sess *Session, n int) []*Mount {
+	t.Helper()
+	ms := make([]*Mount, n)
+	for i := range ms {
+		m, err := sess.Mount(fmt.Sprintf("C%d", i+1), nfsclient.Options{NoAC: true})
+		if err != nil {
+			t.Fatalf("mount C%d: %v", i+1, err)
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// TestModelMultiClientRandom runs three concurrent mounts through the
+// chaos harness's random schedule and visibility checker on a clean
+// network (no faults, no disruptions): a pure multi-client coherence test
+// of both models.
+func TestModelMultiClientRandom(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		model core.Model
+	}{
+		{"polling", core.ModelPolling},
+		{"delegation", core.ModelDelegation},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			seed := testSeed(t, 5)
+			rep, err := RunChaos(ChaosOptions{
+				Model:          mode.model,
+				Clients:        3,
+				Steps:          80,
+				Seed:           seed,
+				Partitions:     -1,
+				ServerRestarts: -1,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if rep.OpErrors != 0 {
+				t.Errorf("%d op errors on a clean network: %v", rep.OpErrors, rep.ErrorSamples)
+			}
+			if rep.Reads == 0 || rep.Writes == 0 {
+				t.Errorf("degenerate schedule: %d reads, %d writes", rep.Reads, rep.Writes)
+			}
+		})
 	}
 }

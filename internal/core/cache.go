@@ -53,6 +53,13 @@ type cachedFile struct {
 	localChange uint32
 	blocks      map[uint64][]byte
 	dirty       map[uint64]bool
+	// dirtyGen counts the writes that dirtied each block. A flush records
+	// the generation it copied and only marks the block clean if no newer
+	// write landed while its WRITE was in flight; otherwise the block stays
+	// dirty and the newer data is flushed next round. Entries are never
+	// deleted so an in-flight flush can't match a re-dirtied block's reset
+	// generation.
+	dirtyGen map[uint64]uint64
 }
 
 func newSessionCache(blockSize int, maxBytes int64) *sessionCache {
@@ -237,7 +244,7 @@ func (sc *sessionCache) dropLookup(dir nfs3.FH, name string) {
 func (sc *sessionCache) fileFor(key string) *cachedFile {
 	fc, ok := sc.files[key]
 	if !ok {
-		fc = &cachedFile{blocks: make(map[uint64][]byte), dirty: make(map[uint64]bool)}
+		fc = &cachedFile{blocks: make(map[uint64][]byte), dirty: make(map[uint64]bool), dirtyGen: make(map[uint64]uint64)}
 		sc.files[key] = fc
 	}
 	return fc
@@ -335,6 +342,7 @@ func (sc *sessionCache) writeDirty(fh nfs3.FH, off uint64, data []byte) uint64 {
 			sc.lru.remove(key, bn)
 		}
 		fc.dirty[bn] = true
+		fc.dirtyGen[bn]++
 		copy(block[bo:], data[n:n+chunk])
 		n += chunk
 	}
@@ -378,13 +386,14 @@ func (sc *sessionCache) dirtyFiles() []nfs3.FH {
 }
 
 // takeDirty extracts one dirty block for flushing: its data (bounded by the
-// file size) and start offset. ok is false when bn is no longer dirty.
-func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint64, ok bool) {
+// file size), start offset, and the block's dirty generation, which the
+// flusher passes back to flushed. ok is false when bn is no longer dirty.
+func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint64, gen uint64, ok bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	fc, exists := sc.files[fh.Key()]
 	if !exists || !fc.dirty[bn] {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
 	block := fc.blocks[bn]
 	bs := uint64(sc.bs)
@@ -395,18 +404,18 @@ func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint6
 			// Block wholly beyond a truncation; drop it.
 			delete(fc.dirty, bn)
 			delete(fc.blocks, bn)
-			return nil, 0, false
+			return nil, 0, 0, false
 		}
 		count = fc.size - off
 	}
 	data = make([]byte, count)
 	copy(data, block[:count])
-	return data, off, true
+	return data, off, fc.dirtyGen[bn], true
 }
 
 // flushed marks a dirty block clean after its WRITE succeeded, adopting the
 // server's post-write attributes.
-func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, after nfs3.PostOpAttr) {
+func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, after nfs3.PostOpAttr) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	key := fh.Key()
@@ -414,7 +423,10 @@ func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, after nfs3.PostOpAttr) {
 	if !exists {
 		return
 	}
-	if fc.dirty[bn] {
+	// Only mark the block clean if it is still the data we flushed: a write
+	// that landed while the WRITE RPC was in flight bumps the generation,
+	// and clearing the dirty bit then would lose that newer data.
+	if fc.dirty[bn] && fc.dirtyGen[bn] == gen {
 		delete(fc.dirty, bn)
 		sc.lru.add(key, bn, sc.bs)
 	}

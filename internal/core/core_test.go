@@ -295,18 +295,52 @@ func TestCacheDirtyLifecycle(t *testing.T) {
 	if a, ok := sc.getAttr(fh); !ok || a.Size != 6 {
 		t.Fatalf("adjusted size = %+v", a)
 	}
-	data, off, ok := sc.takeDirty(fh, 1)
+	data, off, gen1, ok := sc.takeDirty(fh, 1)
 	if !ok || off != 4 || len(data) != 2 {
 		t.Fatalf("takeDirty = %v @%d, %v", data, off, ok)
 	}
-	sc.flushed(fh, 1, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)})
-	sc.flushed(fh, 0, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)})
+	_, _, gen0, ok := sc.takeDirty(fh, 0)
+	if !ok {
+		t.Fatal("takeDirty(0) not dirty")
+	}
+	sc.flushed(fh, 1, gen1, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)})
+	sc.flushed(fh, 0, gen0, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)})
 	// takeDirty for block 0 still worked before flushed(0) marked it clean;
 	// after both flushes nothing is dirty.
 	if sc.hasDirty(fh) {
 		t.Fatal("dirty state after flushing all blocks")
 	}
 	sc.dropDirty(fh) // no-op now
+}
+
+// TestCacheFlushRaceKeepsNewerWrite pins the lost-update guard: a write
+// landing while a flush's WRITE RPC is in flight must leave the block
+// dirty when the stale flush completes, so the newer data is flushed on
+// the next round.
+func TestCacheFlushRaceKeepsNewerWrite(t *testing.T) {
+	sc := newSessionCache(4, 1<<20)
+	fh := fhN(1)
+	sc.putAttr(fh, attrWithMtime(1, nfs3.TypeReg))
+	sc.writeDirty(fh, 0, []byte{1, 1, 1, 1})
+	_, _, gen, ok := sc.takeDirty(fh, 0)
+	if !ok {
+		t.Fatal("takeDirty failed")
+	}
+	// Concurrent write while the flush is "in flight".
+	sc.writeDirty(fh, 0, []byte{2, 2, 2, 2})
+	sc.flushed(fh, 0, gen, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)})
+	if !sc.hasDirty(fh) {
+		t.Fatal("stale flush completion marked a re-dirtied block clean — newer write lost")
+	}
+	// The re-flush takes the newer data and its matching generation clears it.
+	data, _, gen2, ok := sc.takeDirty(fh, 0)
+	if !ok || data[0] != 2 {
+		t.Fatalf("re-flush takeDirty = %v, %v", data, ok)
+	}
+	sc.flushed(fh, 0, gen2, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)})
+	if sc.hasDirty(fh) {
+		t.Fatal("dirty state after flushing the newer write")
+	}
 }
 
 func TestCacheDirtyBeyondTruncationDropped(t *testing.T) {
@@ -318,7 +352,7 @@ func TestCacheDirtyBeyondTruncationDropped(t *testing.T) {
 	sc.mu.Lock()
 	sc.files[fh.Key()].size = 4
 	sc.mu.Unlock()
-	if _, _, ok := sc.takeDirty(fh, 2); ok {
+	if _, _, _, ok := sc.takeDirty(fh, 2); ok {
 		t.Fatal("dirty block beyond truncation point was flushed")
 	}
 	if sc.hasDirty(fh) {

@@ -401,7 +401,7 @@ func (p *ProxyClient) flushFile(fh nfs3.FH, skipBn uint64, skip bool) {
 
 // flushBlock writes one dirty block upstream.
 func (p *ProxyClient) flushBlock(fh nfs3.FH, bn uint64) error {
-	data, off, ok := p.cache.takeDirty(fh, bn)
+	data, off, gen, ok := p.cache.takeDirty(fh, bn)
 	if !ok {
 		return nil
 	}
@@ -423,7 +423,7 @@ func (p *ProxyClient) flushBlock(fh nfs3.FH, bn uint64) error {
 		p.mu.Unlock()
 		return &nfs3.Error{Status: res.Status, Proc: nfs3.ProcWrite}
 	}
-	p.cache.flushed(fh, bn, res.Wcc.After)
+	p.cache.flushed(fh, bn, gen, res.Wcc.After)
 	p.mu.Lock()
 	p.stats.FlushedBlocks++
 	p.mu.Unlock()

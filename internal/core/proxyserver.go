@@ -108,6 +108,13 @@ type sharer struct {
 	pending    map[uint64]bool // dirty byte offsets awaiting write-back
 	// grantSeq is the fence stamp of the latest grant to this sharer.
 	grantSeq uint64
+	// lostRecall is set when a recall callback to this sharer failed: its
+	// delegation was revoked without acknowledgement, so dirty data it
+	// buffered may predate writes by others that the revocation admitted.
+	// The first write-back it sends afterwards is rejected, making it
+	// discard the suspect blocks (Section 4.3.4's discard semantics)
+	// instead of clobbering newer data.
+	lostRecall bool
 }
 
 // NewProxyServer wraps an upstream connection to the kernel NFS server.

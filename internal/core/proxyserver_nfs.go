@@ -62,6 +62,20 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 		return sunrpc.GarbageArgs
 	}
 
+	// A client whose write-delegation recall was lost may write back stale
+	// data long after the revocation admitted newer writes by others.
+	// Reject its first write-back: the client discards the suspect dirty
+	// blocks (Section 4.3.4) rather than clobbering newer data.
+	if s.cfg.Model == ModelDelegation && call.Proc == nfs3.ProcWrite &&
+		info.writeOffset != nil && s.takeLostRecall(client.rec.ID, info.primary) {
+		res := nfs3.WriteRes{Status: nfs3.ErrStale}
+		e := xdr.NewEncoder()
+		res.Encode(e)
+		call.Reply.FixedOpaque(e.Bytes())
+		Trailers(nil).Encode(call.Reply)
+		return sunrpc.Success
+	}
+
 	// Delegation model: resolve conflicts before the operation proceeds,
 	// collecting one piggyback decision per touched handle.
 	var trailers Trailers
@@ -405,6 +419,9 @@ func (s *ProxyServer) handleAccess(client *clientState, a accessReq) (granted De
 		res := s.callbackRecall(r.c, r.args)
 		s.mu.Lock()
 		r.sh.deleg = DelegNone
+		if res == nil && r.args.Deleg == DelegWrite {
+			r.sh.lostRecall = true
+		}
 		if res != nil && len(res.Pending) > 0 {
 			r.sh.pending = make(map[uint64]bool, len(res.Pending))
 			bs := uint64(s.cfg.BlockSize)
@@ -484,11 +501,31 @@ func (s *ProxyServer) revokeOthers(client *clientState, a accessReq) {
 	}
 	s.mu.Unlock()
 	for _, r := range recalls {
-		s.callbackRecall(r.c, r.args)
+		res := s.callbackRecall(r.c, r.args)
 		s.mu.Lock()
 		r.sh.deleg = DelegNone
+		if res == nil && r.args.Deleg == DelegWrite {
+			r.sh.lostRecall = true
+		}
 		s.mu.Unlock()
 	}
+}
+
+// takeLostRecall reports and clears the one-shot write-back fence raised
+// when a write-delegation recall to this client was lost.
+func (s *ProxyServer) takeLostRecall(clientID string, fh nfs3.FH) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs, ok := s.files[fh.Key()]
+	if !ok {
+		return false
+	}
+	sh, ok := fs.sharers[clientID]
+	if !ok || !sh.lostRecall {
+		return false
+	}
+	sh.lostRecall = false
+	return true
 }
 
 // noteWriteArrived clears pending write-back accounting as the recalled

@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// Faults is a per-link fault-injection policy: the deterministic chaos layer
+// the consistency checkers run against. All randomness is drawn from a PRNG
+// derived from Seed and the directed link's endpoint names, so a run over
+// the same link with the same message sequence injects the same faults —
+// failing schedules replay from a single seed.
+//
+// Faults apply to messages on established connections. Connection
+// establishment is affected only by partitions (as before), so deployments
+// can always be stood up before chaos begins.
+type Faults struct {
+	// Seed keys the link's PRNG. Two links with the same Seed still draw
+	// independent streams (the endpoint names are mixed in).
+	Seed int64
+	// DropProb is the probability a message is silently lost. Senders
+	// discover loss via timeouts, as with a real lossy path.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice, the second
+	// copy delayed by up to ReorderWindow.
+	DupProb float64
+	// ReorderProb is the probability a message is held back by up to
+	// ReorderWindow, letting later messages overtake it.
+	ReorderProb float64
+	// ReorderWindow bounds the extra delay of reordered and duplicated
+	// messages. Defaults to the link RTT when zero.
+	ReorderWindow time.Duration
+	// JitterMax adds a uniform [0, JitterMax) latency jitter to every
+	// message.
+	JitterMax time.Duration
+}
+
+// active reports whether the policy injects any fault at all.
+func (f Faults) active() bool {
+	return f.DropProb > 0 || f.DupProb > 0 || f.ReorderProb > 0 || f.JitterMax > 0
+}
+
+// linkFaults is the per-directed-link instantiation of a policy: its own
+// PRNG stream, guarded by the network mutex like all link state.
+type linkFaults struct {
+	policy Faults
+	rng    *rand.Rand
+}
+
+func newLinkFaults(f Faults, from, to string) *linkFaults {
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	return &linkFaults{policy: f, rng: rand.New(rand.NewSource(f.Seed ^ int64(h.Sum64())))}
+}
+
+// SetFaults installs the fault policy on both directions of the a<->b link.
+// Each direction draws from its own PRNG stream. An inactive policy (all
+// zero probabilities and no jitter) clears fault injection on the link.
+func (n *Net) SetFaults(a, b string, f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !f.active() {
+		delete(n.faults, hostPair{a, b})
+		delete(n.faults, hostPair{b, a})
+		return
+	}
+	n.faults[hostPair{a, b}] = newLinkFaults(f, a, b)
+	n.faults[hostPair{b, a}] = newLinkFaults(f, b, a)
+}
+
+// SetDefaultFaults applies f to every inter-host link without an explicit
+// SetFaults entry. Loopback (same-host) traffic is never faulted: the chaos
+// layer models the wide area, and the kernel-client-to-proxy hop is local.
+func (n *Net) SetDefaultFaults(f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !f.active() {
+		n.defFaults = nil
+		return
+	}
+	cp := f
+	n.defFaults = &cp
+}
+
+// faultsLocked resolves the fault state for a directed link, instantiating
+// the default policy lazily so each link still gets its own PRNG stream.
+func (n *Net) faultsLocked(from, to string) *linkFaults {
+	key := hostPair{from, to}
+	if lf, ok := n.faults[key]; ok {
+		return lf
+	}
+	if n.defFaults != nil && from != to {
+		lf := newLinkFaults(*n.defFaults, from, to)
+		n.faults[key] = lf
+		return lf
+	}
+	return nil
+}
+
+// Event records one partition or heal applied to the network, stamped in
+// the clock's time. Chaos harnesses compare event logs across runs to
+// assert that a seeded fault plan replays identically.
+type Event struct {
+	At   time.Duration
+	Kind string // "partition" or "heal"
+	A, B string
+}
+
+// Events returns a copy of the partition/heal event log in application
+// order.
+func (n *Net) Events() []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Event(nil), n.events...)
+}

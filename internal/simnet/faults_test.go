@@ -1,0 +1,206 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// sendBurst dials server:2049 from "client", sends n messages, and returns
+// how many arrive within the drain window, in arrival order.
+func sendBurst(t *testing.T, clk *vclock.Clock, net *Net, n int) [][]byte {
+	t.Helper()
+	var got [][]byte
+	run(t, clk, func() {
+		l, err := net.Host("server").Listen(":2049")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		defer l.Close()
+		recvDone := make(chan struct{})
+		clk.Go("server", func() {
+			defer close(recvDone)
+			c, err := l.Accept()
+			if err != nil {
+				t.Errorf("accept: %v", err)
+				return
+			}
+			for {
+				msg, err := c.Recv()
+				if err != nil {
+					return
+				}
+				got = append(got, msg)
+			}
+		})
+		c, err := net.Host("client").Dial("server:2049")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			c.Send([]byte{byte(i)})
+			clk.Sleep(time.Millisecond)
+		}
+		// Drain: longer than RTT + max reorder/dup delay.
+		clk.Sleep(time.Second)
+		c.Close()
+		clk.Sleep(time.Second)
+		<-recvDone
+	})
+	return got
+}
+
+func TestFaultDrop(t *testing.T) {
+	clk := vclock.NewVirtual()
+	net := New(clk, Params{RTT: 40 * time.Millisecond})
+	net.SetFaults("client", "server", Faults{Seed: 7, DropProb: 0.5})
+	got := sendBurst(t, clk, net, 200)
+	st := net.LinkStats("client", "server")
+	if st.FaultDrops == 0 {
+		t.Fatal("no drops injected at DropProb=0.5")
+	}
+	if int64(len(got)) != st.Messages {
+		t.Errorf("received %d, stats say %d delivered", len(got), st.Messages)
+	}
+	if st.FaultDrops+st.Messages != 200 {
+		t.Errorf("drops %d + delivered %d != 200 sent", st.FaultDrops, st.Messages)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("partition-drop counter moved (%d) without a partition", st.Dropped)
+	}
+}
+
+func TestFaultDuplication(t *testing.T) {
+	clk := vclock.NewVirtual()
+	net := New(clk, Params{RTT: 40 * time.Millisecond})
+	net.SetFaults("client", "server", Faults{Seed: 7, DupProb: 0.5})
+	got := sendBurst(t, clk, net, 100)
+	st := net.LinkStats("client", "server")
+	if st.FaultDups == 0 {
+		t.Fatal("no duplicates injected at DupProb=0.5")
+	}
+	if int64(len(got)) != 100+st.FaultDups {
+		t.Errorf("received %d, want 100 + %d dups", len(got), st.FaultDups)
+	}
+}
+
+func TestFaultReorder(t *testing.T) {
+	clk := vclock.NewVirtual()
+	net := New(clk, Params{RTT: 40 * time.Millisecond})
+	net.SetFaults("client", "server", Faults{Seed: 7, ReorderProb: 0.3, ReorderWindow: 50 * time.Millisecond})
+	got := sendBurst(t, clk, net, 100)
+	st := net.LinkStats("client", "server")
+	if st.FaultReorders == 0 {
+		t.Fatal("no reorders injected at ReorderProb=0.3")
+	}
+	if len(got) != 100 {
+		t.Fatalf("received %d, want 100 (reorder must not lose messages)", len(got))
+	}
+	inverted := 0
+	for i := 1; i < len(got); i++ {
+		if got[i][0] < got[i-1][0] {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Error("messages arrived in send order despite reordering")
+	}
+}
+
+// TestFaultDeterminism: the same seed yields the identical fault schedule;
+// a different seed diverges.
+func TestFaultDeterminism(t *testing.T) {
+	runOnce := func(seed int64) (Stats, []byte) {
+		clk := vclock.NewVirtual()
+		net := New(clk, Params{RTT: 40 * time.Millisecond})
+		net.SetFaults("client", "server", Faults{
+			Seed: seed, DropProb: 0.2, DupProb: 0.2,
+			ReorderProb: 0.2, JitterMax: 10 * time.Millisecond,
+		})
+		got := sendBurst(t, clk, net, 100)
+		order := make([]byte, len(got))
+		for i, m := range got {
+			order[i] = m[0]
+		}
+		return net.LinkStats("client", "server"), order
+	}
+	s1, o1 := runOnce(42)
+	s2, o2 := runOnce(42)
+	if s1 != s2 {
+		t.Errorf("same seed, different fault counters: %+v vs %+v", s1, s2)
+	}
+	if string(o1) != string(o2) {
+		t.Errorf("same seed, different arrival order:\n%v\n%v", o1, o2)
+	}
+	s3, _ := runOnce(43)
+	if s1 == s3 {
+		t.Errorf("different seeds produced identical fault counters %+v (suspicious)", s1)
+	}
+}
+
+func TestDefaultFaultsSkipLoopback(t *testing.T) {
+	clk := vclock.NewVirtual()
+	net := New(clk, Params{RTT: 40 * time.Millisecond})
+	net.SetDefaultFaults(Faults{Seed: 1, DropProb: 1.0})
+	run(t, clk, func() {
+		l, err := net.Host("h1").Listen(":9")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		defer l.Close()
+		var got int
+		clk.Go("server", func() {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+				got++
+			}
+		})
+		c, err := net.Host("h1").Dial("h1:9")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		for i := 0; i < 10; i++ {
+			c.Send([]byte("x"))
+		}
+		clk.Sleep(time.Second)
+		if got != 10 {
+			t.Errorf("loopback delivered %d/10 under default DropProb=1", got)
+		}
+		c.Close()
+	})
+}
+
+func TestPartitionEventLog(t *testing.T) {
+	clk := vclock.NewVirtual()
+	net := New(clk, Params{RTT: 40 * time.Millisecond})
+	run(t, clk, func() {
+		clk.Sleep(5 * time.Second)
+		net.Partition("a", "b")
+		clk.Sleep(10 * time.Second)
+		net.Heal("a", "b")
+	})
+	ev := net.Events()
+	want := []Event{
+		{At: 5 * time.Second, Kind: "partition", A: "a", B: "b"},
+		{At: 15 * time.Second, Kind: "heal", A: "a", B: "b"},
+	}
+	if len(ev) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(ev), len(want), ev)
+	}
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, ev[i], want[i])
+		}
+	}
+}

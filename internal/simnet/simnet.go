@@ -34,11 +34,18 @@ var (
 )
 
 // Stats aggregates traffic counters for a directed host pair or the whole
-// network.
+// network. The Fault* counters record injected faults (see Faults); Dropped
+// counts partition drops and FaultDrops counts probabilistic ones, so a test
+// can tell the two loss mechanisms apart.
 type Stats struct {
 	Messages int64
 	Bytes    int64
 	Dropped  int64
+
+	FaultDrops    int64
+	FaultDups     int64
+	FaultReorders int64
+	FaultJitters  int64
 }
 
 type hostPair struct{ from, to string }
@@ -49,11 +56,14 @@ type Net struct {
 
 	mu          sync.Mutex
 	def         Params
+	defFaults   *Faults
 	links       map[hostPair]Params // symmetric: stored both ways
+	faults      map[hostPair]*linkFaults
 	partitioned map[hostPair]bool
 	busyUntil   map[hostPair]time.Duration
 	listeners   map[string]*listener
 	stats       map[hostPair]*Stats
+	events      []Event
 	portSeq     int
 }
 
@@ -63,6 +73,7 @@ func New(clk *vclock.Clock, def Params) *Net {
 		clk:         clk,
 		def:         def,
 		links:       make(map[hostPair]Params),
+		faults:      make(map[hostPair]*linkFaults),
 		partitioned: make(map[hostPair]bool),
 		busyUntil:   make(map[hostPair]time.Duration),
 		listeners:   make(map[string]*listener),
@@ -92,6 +103,7 @@ func (n *Net) Partition(a, b string) {
 	defer n.mu.Unlock()
 	n.partitioned[hostPair{a, b}] = true
 	n.partitioned[hostPair{b, a}] = true
+	n.events = append(n.events, Event{At: n.clk.Now(), Kind: "partition", A: a, B: b})
 }
 
 // Heal removes a partition between a and b.
@@ -100,6 +112,7 @@ func (n *Net) Heal(a, b string) {
 	defer n.mu.Unlock()
 	delete(n.partitioned, hostPair{a, b})
 	delete(n.partitioned, hostPair{b, a})
+	n.events = append(n.events, Event{At: n.clk.Now(), Kind: "heal", A: a, B: b})
 }
 
 // LinkStats returns a copy of the directed traffic counters from host a to b.
@@ -121,6 +134,10 @@ func (n *Net) TotalStats() Stats {
 		total.Messages += s.Messages
 		total.Bytes += s.Bytes
 		total.Dropped += s.Dropped
+		total.FaultDrops += s.FaultDrops
+		total.FaultDups += s.FaultDups
+		total.FaultReorders += s.FaultReorders
+		total.FaultJitters += s.FaultJitters
 	}
 	return total
 }
@@ -317,6 +334,13 @@ func (c *conn) Send(msg []byte) error {
 		return nil
 	}
 	p := n.paramsLocked(c.localHost, c.remoteHost)
+	lf := n.faultsLocked(c.localHost, c.remoteHost)
+	if lf != nil && lf.rng.Float64() < lf.policy.DropProb {
+		st.FaultDrops++
+		n.mu.Unlock()
+		// Like partition drops: silent loss, discovered via timeouts.
+		return nil
+	}
 	now := n.clk.Now()
 	depart := now
 	if bu := n.busyUntil[key]; bu > depart {
@@ -329,6 +353,26 @@ func (c *conn) Send(msg []byte) error {
 	}
 	n.busyUntil[key] = depart + xmit
 	arrival := depart + xmit + p.RTT/2
+	var dupArrival time.Duration // zero: no duplicate
+	if lf != nil {
+		window := lf.policy.ReorderWindow
+		if window <= 0 {
+			window = p.RTT
+		}
+		if lf.policy.JitterMax > 0 {
+			arrival += time.Duration(lf.rng.Int63n(int64(lf.policy.JitterMax)))
+			st.FaultJitters++
+		}
+		if lf.rng.Float64() < lf.policy.ReorderProb {
+			// Hold the message back so later sends can overtake it.
+			arrival += time.Duration(lf.rng.Int63n(int64(window))) + 1
+			st.FaultReorders++
+		}
+		if lf.rng.Float64() < lf.policy.DupProb {
+			dupArrival = arrival + time.Duration(lf.rng.Int63n(int64(window))) + 1
+			st.FaultDups++
+		}
+	}
 	st.Messages++
 	st.Bytes += int64(len(msg))
 	n.mu.Unlock()
@@ -339,6 +383,13 @@ func (c *conn) Send(msg []byte) error {
 	n.clk.AfterFunc(arrival-now, func() {
 		peer.inbox.Put(buf)
 	})
+	if dupArrival > 0 {
+		dup := make([]byte, len(buf))
+		copy(dup, buf)
+		n.clk.AfterFunc(dupArrival-now, func() {
+			peer.inbox.Put(dup)
+		})
+	}
 	return nil
 }
 
