@@ -67,6 +67,10 @@ type ChaosOptions struct {
 	// OpGap bounds the random think time between a client's operations
 	// (default 3s; actual gaps are 500ms + uniform[0, OpGap)).
 	OpGap time.Duration
+	// FlushParallelism is forwarded to core.Config.FlushParallelism: how
+	// many dirty-block WRITEs a proxy-client flush keeps in flight at
+	// once. 0 keeps the core default (serial).
+	FlushParallelism int
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -240,13 +244,14 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 	defer d.Close()
 
 	cfg := core.Config{
-		Model:          o.Model,
-		PollPeriod:     10 * time.Second,
-		PollBackoffMax: 10 * time.Second, // no idle backoff: keep the poll window fixed
-		FlushInterval:  10 * time.Second,
-		CallTimeout:    4 * time.Second,
-		DelegRenew:     30 * time.Second,
-		DelegExpiry:    2 * time.Minute,
+		Model:            o.Model,
+		PollPeriod:       10 * time.Second,
+		PollBackoffMax:   10 * time.Second, // no idle backoff: keep the poll window fixed
+		FlushInterval:    10 * time.Second,
+		CallTimeout:      4 * time.Second,
+		DelegRenew:       30 * time.Second,
+		DelegExpiry:      2 * time.Minute,
+		FlushParallelism: o.FlushParallelism,
 	}
 	if o.Model == core.ModelPolling {
 		cfg.WriteBack = true
@@ -399,6 +404,7 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		rep.ClientStats.FlushedBlocks += s.FlushedBlocks
 		rep.ClientStats.UpstreamRetries += s.UpstreamRetries
 		rep.ClientStats.FlushErrors += s.FlushErrors
+		rep.ClientStats.ReadAheads += s.ReadAheads
 	}
 	rep.ServerStats = sess.ProxyServer().Stats()
 	return rep, nil

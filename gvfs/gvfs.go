@@ -75,6 +75,7 @@ type Deployment struct {
 	sessions []*Session
 	mounts   []*Mount
 	closed   bool
+	release  chan struct{} // wakes the keeper actor pinning the virtual clock
 }
 
 // NewDeployment builds the server side: filesystem, NFS server, and
@@ -111,7 +112,40 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		return nil, fmt.Errorf("gvfs: export NFS server: %w", err)
 	}
 	rpcSrv.Serve(l)
+	d.park()
 	return d, nil
+}
+
+// park pins the virtual clock: it spawns a keeper actor that blocks on a
+// plain channel, so the clock counts it as runnable and never advances to
+// the next timer. Without it, the moment the last workload actor exits the
+// clock free-runs session daemons (polling, flush ticks) at CPU speed —
+// and the calling goroutine, which is not a managed actor, can be starved
+// out of ever reaching Close by the resulting actor churn. The keeper is
+// held whenever control is outside Run/Close.
+func (d *Deployment) park() {
+	if !d.Clock.Virtual() {
+		return
+	}
+	release := make(chan struct{})
+	d.mu.Lock()
+	d.release = release
+	d.mu.Unlock()
+	d.Clock.Go("gvfs-keeper", func() { <-release })
+}
+
+// unpark releases the keeper so virtual time can run for a workload.
+func (d *Deployment) unpark() {
+	if !d.Clock.Virtual() {
+		return
+	}
+	d.mu.Lock()
+	release := d.release
+	d.release = nil
+	d.mu.Unlock()
+	if release != nil {
+		close(release)
+	}
 }
 
 // Run executes fn as a managed workload actor and waits for it to finish.
@@ -119,11 +153,18 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 // (or Go) so the virtual clock can account for blocking.
 func (d *Deployment) Run(name string, fn func()) {
 	done := make(chan struct{})
+	ack := make(chan struct{})
 	d.Clock.Go(name, func() {
-		defer close(done)
+		// Stay counted as runnable until the caller has re-parked the
+		// keeper, so the runnable count never touches zero and daemon
+		// timers cannot free-run between workload actors.
+		defer func() { close(done); <-ack }()
 		fn()
 	})
+	d.unpark()
 	<-done
+	d.park()
+	close(ack)
 }
 
 // Go spawns a concurrent workload actor; join with a Group from NewGroup.
@@ -153,8 +194,9 @@ func (d *Deployment) Close() {
 	// RPCs — clock-blocking work, so it must run as a managed actor (Close,
 	// like Run, is called from outside the simulation).
 	done := make(chan struct{})
+	ack := make(chan struct{})
 	d.Clock.Go("gvfs-close", func() {
-		defer close(done)
+		defer func() { close(done); <-ack }()
 		for _, m := range mounts {
 			m.close()
 		}
@@ -162,9 +204,15 @@ func (d *Deployment) Close() {
 			s.close()
 		}
 	})
+	d.unpark()
 	<-done
+	d.park()
+	close(ack)
 	d.rpcSrv.Close()
 	d.Clock.Stop()
+	// The clock is stopped; nothing can advance. Let the keeper exit
+	// rather than leak a goroutine per deployment.
+	d.unpark()
 }
 
 func (d *Deployment) nextPort() int {

@@ -1,0 +1,266 @@
+package gvfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nfs3"
+	"repro/internal/simnet"
+)
+
+// pipelineRTT is the wide-area round trip the pipeline tests count in.
+// Bandwidth is left unconstrained so latencies are pure round-trip counts,
+// not transfer serialization.
+const pipelineRTT = 40 * time.Millisecond
+
+func newPipelineDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(Config{WAN: simnet.Params{RTT: pipelineRTT}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+// TestParallelFlushRoundTrips pins the tentpole's headline property in
+// virtual time: writing back N dirty blocks with FlushParallelism = W costs
+// ceil(N/W) wide-area round trips (plus the SETATTR that triggered it), not
+// N.
+func TestParallelFlushRoundTrips(t *testing.T) {
+	const blocks = 16
+	const bs = 32 * 1024
+	for _, w := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("W=%d", w), func(t *testing.T) {
+			d := newPipelineDeployment(t)
+			d.FS.WriteFile("big", make([]byte, blocks*bs))
+			d.Run("flush", func() {
+				sess, err := d.NewSession("s", core.Config{
+					Model: core.ModelPolling, WriteBack: true,
+					FlushParallelism: w, FlushInterval: time.Hour,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m, err := sess.Mount("C1", kernelNoac())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f, err := m.Client.Open("big")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Warm the proxy's attribute cache so writes are absorbed.
+				if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+					t.Error(err)
+					return
+				}
+				block := bytes.Repeat([]byte{0xAB}, bs)
+				for bn := 0; bn < blocks; bn++ {
+					if _, err := f.WriteAt(block, uint64(bn*bs)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				// Loopback push to the proxy; no wide-area traffic yet.
+				if err := f.Sync(); err != nil {
+					t.Error(err)
+					return
+				}
+				if got := m.WANCounts()["WRITE"]; got != 0 {
+					t.Errorf("dirty blocks crossed the WAN before the flush: %d WRITEs", got)
+					return
+				}
+				// The truncation's SETATTR forces a synchronous flushFile.
+				elapsed := d.Elapsed(func() {
+					if terr := f.Truncate(blocks * bs); terr != nil {
+						t.Error(terr)
+					}
+				})
+				rounds := (blocks + w - 1) / w
+				want := time.Duration(rounds+1) * pipelineRTT // flush rounds + SETATTR
+				if elapsed < want || elapsed > want+pipelineRTT/2 {
+					t.Errorf("W=%d: flush of %d blocks took %v, want ~%v (%d round trips)",
+						w, blocks, elapsed, want, rounds+1)
+				}
+				if got := m.WANCounts()["WRITE"]; got != blocks {
+					t.Errorf("WAN WRITEs = %d, want %d (one per dirty block)", got, blocks)
+				}
+			})
+		})
+	}
+}
+
+// TestReadAheadPipelinesColdSequentialRead pins the readahead half: a cold
+// sequential read of a multi-block file with ReadAhead enabled completes in
+// far fewer round trips than one per block, without double-issuing READs.
+func TestReadAheadPipelinesColdSequentialRead(t *testing.T) {
+	const blocks = 16
+	const bs = 32 * 1024
+	data := make([]byte, blocks*bs)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+
+	coldRead := func(t *testing.T, ra int) (time.Duration, *Mount) {
+		d := newPipelineDeployment(t)
+		d.FS.WriteFile("data", data)
+		var elapsed time.Duration
+		var m *Mount
+		d.Run("read", func() {
+			sess, err := d.NewSession("s", core.Config{Model: core.ModelPolling, ReadAhead: ra})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if m, err = sess.Mount("C1", kernelNoac()); err != nil {
+				t.Error(err)
+				return
+			}
+			var got []byte
+			elapsed = d.Elapsed(func() {
+				got, err = m.Client.ReadFile("data")
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("readahead corrupted the stream: got %d bytes", len(got))
+			}
+		})
+		return elapsed, m
+	}
+
+	serial, _ := coldRead(t, 0)
+	piped, m := coldRead(t, 8)
+	if t.Failed() {
+		return
+	}
+	// Serial pays ~1 RTT per block; the pipeline must cut that at least in
+	// half (it does much better: the window keeps ~8 READs in flight).
+	if piped*2 >= serial {
+		t.Errorf("RA=8 cold read %v not meaningfully faster than serial %v", piped, serial)
+	}
+	if ras := m.Proxy.Stats().ReadAheads; ras == 0 {
+		t.Error("no blocks were prefetched")
+	}
+	if reads := m.WANCounts()["READ"]; reads != blocks {
+		t.Errorf("WAN READs = %d, want %d (readahead must not double-issue)", reads, blocks)
+	}
+}
+
+// TestShortTailBlockReread is the regression test for the localReadRes
+// offset bug: a short tail block cached via the EOF path, re-read at its
+// aligned offset, must serve the right bytes (the old in-block offset was
+// offset %% len(block) — garbage for short blocks). Covered for both models,
+// with and without dirty data buffered on the file.
+func TestShortTailBlockReread(t *testing.T) {
+	const bs = 32 * 1024
+	const tailLen = 10
+	data := make([]byte, bs+tailLen)
+	for i := range data {
+		data[i] = byte(i % 249)
+	}
+	for _, model := range []core.Model{core.ModelPolling, core.ModelDelegation} {
+		for _, dirty := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/dirty=%v", model, dirty), func(t *testing.T) {
+				d := newDeployment(t)
+				d.FS.WriteFile("tail.bin", data)
+				d.Run("reread", func() {
+					cfg := core.Config{Model: model}
+					if model == core.ModelPolling {
+						cfg.WriteBack = true
+					}
+					sess, err := d.NewSession("s", cfg)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					m, err := sess.Mount("C1", kernelNoac())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					// Drive the proxy directly so the kernel client's own
+					// data cache cannot hide the proxy's serving path.
+					conn := m.Client.Conn()
+					lk, err := conn.Lookup(m.Client.Root(), "tail.bin")
+					if err != nil || lk.Status != nfs3.OK {
+						t.Errorf("lookup: %v status %v", err, lk.Status)
+						return
+					}
+					fh := lk.FH
+					if _, err := conn.Read(fh, 0, bs); err != nil {
+						t.Error(err)
+						return
+					}
+					r1, err := conn.Read(fh, bs, bs)
+					if err != nil || r1.Status != nfs3.OK {
+						t.Errorf("cold tail read: %v status %v", err, r1.Status)
+						return
+					}
+					if int(r1.Count) != tailLen || !bytes.Equal(r1.Data, data[bs:]) {
+						t.Errorf("cold tail read returned %d bytes", r1.Count)
+						return
+					}
+					if dirty {
+						// Buffer dirty data on another block so the re-read
+						// exercises the dirty-file serving predicate.
+						w, werr := conn.Write(fh, 0, data[:bs], nfs3.FileSync)
+						if werr != nil || w.Status != nfs3.OK {
+							t.Errorf("write: %v status %v", werr, w.Status)
+							return
+						}
+					}
+					before := m.WANCounts()["READ"]
+					r2, err := conn.Read(fh, bs, bs)
+					if err != nil || r2.Status != nfs3.OK {
+						t.Errorf("tail re-read: %v status %v", err, r2.Status)
+						return
+					}
+					if int(r2.Count) != tailLen || !bytes.Equal(r2.Data, data[bs:]) || !r2.EOF {
+						t.Errorf("tail re-read served wrong bytes: count=%d eof=%v", r2.Count, r2.EOF)
+					}
+					if model == core.ModelPolling {
+						if after := m.WANCounts()["READ"]; after != before {
+							t.Errorf("tail re-read crossed the WAN (%d -> %d READs)", before, after)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestChaosParallelFlush reruns the multi-client chaos harness with the
+// parallel write-back pipeline enabled: the per-model visibility checker
+// must hold when flush WRITEs race each other, which stresses the per-block
+// dirty-generation fences under genuine concurrency.
+func TestChaosParallelFlush(t *testing.T) {
+	for _, seed := range []int64{3, 17, 71} {
+		for _, model := range []core.Model{core.ModelPolling, core.ModelDelegation} {
+			t.Run(fmt.Sprintf("%v/seed=%d", model, seed), func(t *testing.T) {
+				rep, err := RunChaos(ChaosOptions{
+					Model:            model,
+					Seed:             seed,
+					Steps:            60,
+					Faults:           chaosFaults(),
+					FlushParallelism: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("visibility violations with parallel flush: %v", rep.Violations)
+				}
+			})
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/gvfs"
 	"repro/internal/core"
 	"repro/internal/nfsclient"
+	"repro/internal/simnet"
 )
 
 // The ablations quantify the design knobs the paper calls out as tradeoffs:
@@ -265,13 +266,166 @@ func runExpiryVariant(expiry time.Duration) (AblationRow, error) {
 	return row, runErr
 }
 
-// RunAblations executes all three sweeps.
+// RunFlushPipelineAblation sweeps the upstream pipeline's two knobs: the
+// write-back parallelism (how many dirty-block WRITEs cross the wide area
+// at once) and the sequential readahead depth. Both trade wide-area
+// concurrency for latency: flushing N blocks costs ~N/W round-trips, and a
+// deep enough readahead turns a cold sequential read from one round-trip
+// per block into a pipelined stream.
+func RunFlushPipelineAblation(opt Options) (AblationResult, error) {
+	res := AblationResult{Name: "write-back & readahead pipeline", Columns: "flush / cold-read latency vs wide-area concurrency"}
+	const blocks = 16
+	for _, w := range []int{1, 2, 4, 8} {
+		row, err := runFlushVariant(w, blocks)
+		if err != nil {
+			return res, fmt.Errorf("flush ablation W=%d: %w", w, err)
+		}
+		opt.logf("ablate flush W=%-2d flush(%d blocks)=%-8v writes=%d", w, blocks, row.Staleness, row.RPCs["WRITE"])
+		res.Rows = append(res.Rows, row)
+	}
+	for _, ra := range []int{0, 2, 4, 8} {
+		row, err := runReadAheadVariant(ra, blocks)
+		if err != nil {
+			return res, fmt.Errorf("readahead ablation RA=%d: %w", ra, err)
+		}
+		opt.logf("ablate readahead RA=%-2d coldread(%d blocks)=%-8v reads=%d", ra, blocks, row.Staleness, row.RPCs["READ"])
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// pipelineWAN is the link the pipeline sweeps run over: the paper's 40 ms
+// round-trip with unconstrained bandwidth, so latencies count round-trips
+// and are not muddied by transfer serialization.
+var pipelineWAN = simnet.Params{RTT: 40 * time.Millisecond}
+
+// runFlushVariant buffers `blocks` dirty blocks at the proxy client and
+// measures how long the synchronous write-back triggered by a truncation
+// takes with FlushParallelism = w.
+func runFlushVariant(w, blocks int) (AblationRow, error) {
+	d, err := gvfs.NewDeployment(gvfs.Config{WAN: pipelineWAN})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	defer d.Close()
+	bs := 32 * 1024
+	size := uint64(blocks * bs)
+	d.FS.WriteFile("big", make([]byte, size))
+
+	row := AblationRow{Param: fmt.Sprintf("flush W=%d", w), RPCs: make(map[string]int64)}
+	var runErr error
+	d.Run("ablate-flush", func() {
+		sess, serr := d.NewSession("s", core.Config{
+			Model: core.ModelPolling, WriteBack: true,
+			FlushParallelism: w, FlushInterval: time.Hour,
+		})
+		if serr != nil {
+			runErr = serr
+			return
+		}
+		m, err := sess.Mount("C1", nfsclient.Options{NoAC: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		f, err := m.Client.Open("big")
+		if err != nil {
+			runErr = err
+			return
+		}
+		// Warm the proxy's attribute cache so writes are absorbed locally.
+		if _, err := f.ReadAt(make([]byte, 1), 0); err != nil {
+			runErr = err
+			return
+		}
+		block := make([]byte, bs)
+		for i := range block {
+			block[i] = byte(w)
+		}
+		for bn := 0; bn < blocks; bn++ {
+			if _, err := f.WriteAt(block, uint64(bn*bs)); err != nil {
+				runErr = err
+				return
+			}
+		}
+		// Push the kernel client's dirty blocks to the proxy over loopback;
+		// the write-back proxy absorbs them without wide-area traffic.
+		if err := f.Sync(); err != nil {
+			runErr = err
+			return
+		}
+		// The truncation's SETATTR forces a synchronous flushFile: its
+		// latency is the pipeline's ceil(blocks/W) round-trips plus the
+		// SETATTR itself.
+		row.Staleness = d.Elapsed(func() {
+			if err := f.Truncate(size); err != nil {
+				runErr = err
+			}
+		})
+		for k, v := range m.WANCounts() {
+			row.RPCs[k] += v
+		}
+	})
+	return row, runErr
+}
+
+// runReadAheadVariant measures a cold sequential read of `blocks` blocks
+// with readahead depth ra.
+func runReadAheadVariant(ra, blocks int) (AblationRow, error) {
+	d, err := gvfs.NewDeployment(gvfs.Config{WAN: pipelineWAN})
+	if err != nil {
+		return AblationRow{}, err
+	}
+	defer d.Close()
+	bs := 32 * 1024
+	data := make([]byte, blocks*bs)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	d.FS.WriteFile("data", data)
+
+	row := AblationRow{Param: fmt.Sprintf("readahead RA=%d", ra), RPCs: make(map[string]int64)}
+	var runErr error
+	d.Run("ablate-readahead", func() {
+		sess, serr := d.NewSession("s", core.Config{
+			Model: core.ModelPolling, ReadAhead: ra,
+		})
+		if serr != nil {
+			runErr = serr
+			return
+		}
+		m, err := sess.Mount("C1", nfsclient.Options{NoAC: true})
+		if err != nil {
+			runErr = err
+			return
+		}
+		var got []byte
+		row.Staleness = d.Elapsed(func() {
+			got, err = m.Client.ReadFile("data")
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		if len(got) != len(data) || got[len(got)-1] != data[len(data)-1] {
+			runErr = fmt.Errorf("readahead returned wrong data: %d bytes", len(got))
+			return
+		}
+		for k, v := range m.WANCounts() {
+			row.RPCs[k] += v
+		}
+	})
+	return row, runErr
+}
+
+// RunAblations executes all four sweeps.
 func RunAblations(opt Options) ([]AblationResult, error) {
 	var out []AblationResult
 	for _, run := range []func(Options) (AblationResult, error){
 		RunPollPeriodAblation,
 		RunBufferSizeAblation,
 		RunDelegExpiryAblation,
+		RunFlushPipelineAblation,
 	} {
 		r, err := run(opt)
 		if err != nil {

@@ -276,8 +276,8 @@ func TestAblationsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 3 {
-		t.Fatalf("expected 3 sweeps, got %d", len(res))
+	if len(res) != 4 {
+		t.Fatalf("expected 4 sweeps, got %d", len(res))
 	}
 	// Polling window: tighter windows bound staleness tighter.
 	poll := res[0]
@@ -304,6 +304,18 @@ func TestAblationsRun(t *testing.T) {
 	exp := res[2]
 	if exp.Rows[0].Extra == "0" {
 		t.Error("30s expiry issued no callbacks against an active client")
+	}
+	// Pipeline: parallel write-back beats serial, and readahead beats
+	// one-round-trip-per-block cold reads.
+	pipe := res[3]
+	if len(pipe.Rows) != 8 {
+		t.Fatalf("pipeline sweep has %d rows, want 8", len(pipe.Rows))
+	}
+	if w8, w1 := pipe.Rows[3].Staleness, pipe.Rows[0].Staleness; w8*2 >= w1 {
+		t.Errorf("W=8 flush %v not meaningfully faster than W=1 %v", w8, w1)
+	}
+	if ra8, ra0 := pipe.Rows[7].Staleness, pipe.Rows[4].Staleness; ra8*2 >= ra0 {
+		t.Errorf("RA=8 cold read %v not meaningfully faster than RA=0 %v", ra8, ra0)
 	}
 	var sb strings.Builder
 	RenderAblations(&sb, res)

@@ -88,6 +88,8 @@ func runFig4Setup(link simnet.Params, mode string, cfg workload.MakeConfig) (Set
 			scfg := core.Config{Model: core.ModelPolling, PollPeriod: thirty, ProxyDelay: proxyDelay, DiskDelay: diskDelay}
 			if mode == "GVFS-WB" {
 				scfg.WriteBack = true
+				scfg.FlushParallelism = 4
+				scfg.ReadAhead = 4
 			}
 			var sess *gvfs.Session
 			sess, runErr = d.NewSession("make", scfg)

@@ -55,7 +55,9 @@ func runFig8Setup(mode string, cfg workload.CH1DConfig) (Fig8Series, error) {
 		var producer, consumer *gvfs.Mount
 		var sess *gvfs.Session
 		if mode == "GVFS" {
-			sess, runErr = d.NewSession("ch1d", core.Config{Model: core.ModelDelegation})
+			sess, runErr = d.NewSession("ch1d", core.Config{
+				Model: core.ModelDelegation, FlushParallelism: 4, ReadAhead: 4,
+			})
 			if runErr != nil {
 				return
 			}

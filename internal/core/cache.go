@@ -60,6 +60,14 @@ type cachedFile struct {
 	// deleted so an in-flight flush can't match a re-dirtied block's reset
 	// generation.
 	dirtyGen map[uint64]uint64
+	// flushing marks blocks with a WRITE RPC in flight: takeDirty refuses
+	// them so concurrent flushers (periodic flush, recall chase, pre-SETATTR
+	// flush, parallel flush workers) never double-issue a block.
+	flushing map[uint64]bool
+	// fetching marks blocks with a prefetch READ in flight: readahead skips
+	// them and demand reads wait for the fetch instead of issuing a
+	// duplicate wide-area READ.
+	fetching map[uint64]bool
 }
 
 func newSessionCache(blockSize int, maxBytes int64) *sessionCache {
@@ -244,7 +252,13 @@ func (sc *sessionCache) dropLookup(dir nfs3.FH, name string) {
 func (sc *sessionCache) fileFor(key string) *cachedFile {
 	fc, ok := sc.files[key]
 	if !ok {
-		fc = &cachedFile{blocks: make(map[uint64][]byte), dirty: make(map[uint64]bool), dirtyGen: make(map[uint64]uint64)}
+		fc = &cachedFile{
+			blocks:   make(map[uint64][]byte),
+			dirty:    make(map[uint64]bool),
+			dirtyGen: make(map[uint64]uint64),
+			flushing: make(map[uint64]bool),
+			fetching: make(map[uint64]bool),
+		}
 		sc.files[key] = fc
 	}
 	return fc
@@ -282,12 +296,20 @@ func (sc *sessionCache) putCleanBlock(fh nfs3.FH, bn uint64, data []byte, attr n
 	if fc.dirty[bn] {
 		return // never overwrite dirty data with server state
 	}
-	block := make([]byte, sc.bs)
-	copy(block, data)
-	if _, existed := fc.blocks[bn]; !existed {
-		sc.lru.add(key, bn, sc.bs)
+	// Tail blocks (the EOF path) are stored at their natural length; full
+	// blocks are padded to the block size. Serving code must therefore never
+	// derive in-block offsets from len(block).
+	n := len(data)
+	if n > sc.bs {
+		n = sc.bs
+	}
+	block := make([]byte, n)
+	copy(block, data[:n])
+	if _, existed := fc.blocks[bn]; existed {
+		sc.lru.remove(key, bn)
 	}
 	fc.blocks[bn] = block
+	sc.lru.add(key, bn, len(block))
 	sc.evictLocked()
 }
 
@@ -338,8 +360,18 @@ func (sc *sessionCache) writeDirty(fh nfs3.FH, off uint64, data []byte) uint64 {
 		if !ok {
 			block = make([]byte, bs)
 			fc.blocks[bn] = block
-		} else if !fc.dirty[bn] {
-			sc.lru.remove(key, bn)
+		} else {
+			if !fc.dirty[bn] {
+				sc.lru.remove(key, bn)
+			}
+			if uint64(len(block)) < bs {
+				// A short-stored tail block is being overwritten: grow it to
+				// a full block so dirty blocks are always full-sized.
+				grown := make([]byte, bs)
+				copy(grown, block)
+				block = grown
+				fc.blocks[bn] = block
+			}
 		}
 		fc.dirty[bn] = true
 		fc.dirtyGen[bn]++
@@ -387,12 +419,14 @@ func (sc *sessionCache) dirtyFiles() []nfs3.FH {
 
 // takeDirty extracts one dirty block for flushing: its data (bounded by the
 // file size), start offset, and the block's dirty generation, which the
-// flusher passes back to flushed. ok is false when bn is no longer dirty.
+// flusher passes back to flushed. ok is false when bn is no longer dirty or
+// when another flusher already has a WRITE for it in flight; a successful
+// take marks the block in flight until endFlush.
 func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint64, gen uint64, ok bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	fc, exists := sc.files[fh.Key()]
-	if !exists || !fc.dirty[bn] {
+	if !exists || !fc.dirty[bn] || fc.flushing[bn] {
 		return nil, 0, 0, false
 	}
 	block := fc.blocks[bn]
@@ -410,7 +444,71 @@ func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint6
 	}
 	data = make([]byte, count)
 	copy(data, block[:count])
+	fc.flushing[bn] = true
 	return data, off, fc.dirtyGen[bn], true
+}
+
+// endFlush clears a block's in-flight flush mark (success or failure).
+func (sc *sessionCache) endFlush(fh nfs3.FH, bn uint64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if fc, ok := sc.files[fh.Key()]; ok {
+		delete(fc.flushing, bn)
+	}
+}
+
+// flushInFlight reports whether any flush of fh is still in flight.
+func (sc *sessionCache) flushInFlight(fh nfs3.FH) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, ok := sc.files[fh.Key()]
+	return ok && len(fc.flushing) > 0
+}
+
+// tryBeginFetch claims (fh, bn) for a prefetch READ. It refuses blocks that
+// are already cached, dirty, or being fetched, so concurrent readahead and
+// demand reads never double-issue the same wide-area READ.
+func (sc *sessionCache) tryBeginFetch(fh nfs3.FH, bn uint64) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc := sc.fileFor(fh.Key())
+	if _, cached := fc.blocks[bn]; cached || fc.dirty[bn] || fc.fetching[bn] {
+		return false
+	}
+	fc.fetching[bn] = true
+	return true
+}
+
+// endFetch clears a block's in-flight prefetch mark.
+func (sc *sessionCache) endFetch(fh nfs3.FH, bn uint64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if fc, ok := sc.files[fh.Key()]; ok {
+		delete(fc.fetching, bn)
+	}
+}
+
+// fetchInFlight reports whether a prefetch of (fh, bn) is in flight.
+func (sc *sessionCache) fetchInFlight(fh nfs3.FH, bn uint64) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, ok := sc.files[fh.Key()]
+	return ok && fc.fetching[bn]
+}
+
+// clearInFlight drops all in-flight marks; called when a restarted proxy
+// adopts a surviving disk cache whose previous owner's RPCs died with it.
+func (sc *sessionCache) clearInFlight() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for _, fc := range sc.files {
+		for bn := range fc.flushing {
+			delete(fc.flushing, bn)
+		}
+		for bn := range fc.fetching {
+			delete(fc.fetching, bn)
+		}
+	}
 }
 
 // flushed marks a dirty block clean after its WRITE succeeded, adopting the
@@ -423,6 +521,9 @@ func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, after nfs3.Po
 	if !exists {
 		return
 	}
+	// The WRITE is no longer in flight; a subsequent takeDirty may re-flush
+	// the block (it stays dirty below when a newer write raced us).
+	delete(fc.flushing, bn)
 	// Only mark the block clean if it is still the data we flushed: a write
 	// that landed while the WRITE RPC was in flight bumps the generation,
 	// and clearing the dirty bit then would lose that newer data.

@@ -91,6 +91,19 @@ type Config struct {
 	// FlushInterval is the background write-back flush period. Default 30 s.
 	FlushInterval time.Duration
 
+	// FlushParallelism bounds how many dirty-block WRITE RPCs a write-back
+	// (periodic flush, recall pending-chase, pre-SETATTR/COMMIT flush) keeps
+	// in flight across the wide area at once, so flushing N blocks costs
+	// about N/FlushParallelism round-trips instead of N. 1 serializes
+	// flushes. Default 1.
+	FlushParallelism int
+
+	// ReadAhead is the number of blocks the proxy client prefetches into
+	// the session cache ahead of a detected sequential read pattern,
+	// pipelining cold sequential reads instead of paying one round-trip per
+	// block. 0 disables readahead. Default 0.
+	ReadAhead int
+
 	// CallTimeout bounds upstream and callback RPCs so crashes and
 	// partitions surface as retriable timeouts. Default 15 s.
 	CallTimeout time.Duration
@@ -147,6 +160,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushInterval == 0 {
 		c.FlushInterval = 30 * time.Second
+	}
+	if c.FlushParallelism == 0 {
+		c.FlushParallelism = 1
 	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 15 * time.Second

@@ -365,7 +365,9 @@ func TestCacheLRUEviction(t *testing.T) {
 	fh := fhN(1)
 	a := attrWithMtime(1, nfs3.TypeReg)
 	for bn := uint64(0); bn < 5; bn++ {
-		sc.putCleanBlock(fh, bn, []byte{byte(bn)}, a)
+		// Full-size blocks: short data is stored at natural length and five
+		// 1-byte blocks would fit the bound without evicting anything.
+		sc.putCleanBlock(fh, bn, []byte{byte(bn), byte(bn), byte(bn), byte(bn)}, a)
 	}
 	st := sc.stats()
 	if st.Bytes > 12 {
@@ -387,7 +389,7 @@ func TestCacheDirtyBlocksPinnedAgainstEviction(t *testing.T) {
 	sc.writeDirty(fh, 0, []byte{1, 1, 1, 1})
 	a := attrWithMtime(1, nfs3.TypeReg)
 	for bn := uint64(1); bn < 6; bn++ {
-		sc.putCleanBlock(fh, bn, []byte{byte(bn)}, a)
+		sc.putCleanBlock(fh, bn, []byte{byte(bn), byte(bn), byte(bn), byte(bn)}, a)
 	}
 	if _, ok := sc.getBlock(fh, 0); !ok {
 		t.Fatal("dirty block evicted")

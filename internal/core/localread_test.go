@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/nfs3"
+)
+
+// Short tail blocks are stored at natural length, so localReadRes must
+// derive in-block offsets from the configured block size — the old
+// offset % len(block) served garbage for any offset at or past the block
+// size, and could slice with a negative length.
+func TestLocalReadResShortTailBlock(t *testing.T) {
+	const bs = uint64(16)
+	tail := []byte{10, 11, 12, 13}
+	attr := nfs3.Fattr{Type: nfs3.TypeReg, Size: bs + uint64(len(tail))}
+
+	// Aligned re-read of the whole tail: all four bytes from the start.
+	res := localReadRes(attr, tail, bs, uint32(bs), bs)
+	if res == nil || res.Count != 4 || !bytes.Equal(res.Data, tail) || !res.EOF {
+		t.Fatalf("aligned tail read = %+v", res)
+	}
+	// Mid-tail offset.
+	res = localReadRes(attr, tail, bs+2, uint32(bs), bs)
+	if res == nil || res.Count != 2 || !bytes.Equal(res.Data, tail[2:]) || !res.EOF {
+		t.Fatalf("mid-tail read = %+v", res)
+	}
+	// At EOF: empty reply, EOF set.
+	res = localReadRes(attr, tail, attr.Size, uint32(bs), bs)
+	if res == nil || res.Count != 0 || !res.EOF {
+		t.Fatalf("EOF read = %+v", res)
+	}
+}
+
+func TestLocalReadResUnservableRangesForward(t *testing.T) {
+	const bs = uint64(16)
+	tail := []byte{10, 11, 12, 13}
+	// The file grew past the short cached block (a remote append the
+	// attributes already reflect): ranges beyond the cached bytes cannot be
+	// served. The old code computed a negative length here and panicked in
+	// make().
+	grown := nfs3.Fattr{Type: nfs3.TypeReg, Size: 2 * bs}
+	if res := localReadRes(grown, tail, bs+8, 8, bs); res != nil {
+		t.Fatalf("range past the short block served locally: %+v", res)
+	}
+	// Zero-length cached block (EOF-path cache of an empty tail) with a
+	// grown file: the old code divided by len(block) == 0.
+	if res := localReadRes(grown, nil, bs, 8, bs); res != nil {
+		t.Fatalf("empty block served a non-empty range: %+v", res)
+	}
+}

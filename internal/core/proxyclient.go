@@ -34,6 +34,9 @@ type ProxyClient struct {
 	noncacheable map[string]bool
 	lastForward  map[string]time.Duration
 	recallFence  map[string]uint64 // FH key -> seq of the latest recall served
+	lastRead     map[string]uint64 // FH key -> last block read (sequential detection)
+	flushWait    map[string][]*vclock.Waiter   // FH key -> waiters for in-flight flushes
+	fetchWait    map[fetchKey][]*vclock.Waiter // block -> waiters for an in-flight prefetch
 	lastInvTS    uint64
 	pollWindow   time.Duration
 	stopped      bool
@@ -62,6 +65,16 @@ type ProxyClientStats struct {
 	// FlushErrors counts dirty-block write-backs that failed with an NFS
 	// error (e.g. the file was removed); the block is dropped.
 	FlushErrors int64
+	// ReadAheads counts blocks prefetched by the sequential readahead
+	// pipeline (each is one wide-area READ the kernel never waited a full
+	// round-trip for).
+	ReadAheads int64
+}
+
+// fetchKey identifies one block of one file for prefetch coordination.
+type fetchKey struct {
+	fh string
+	bn uint64
 }
 
 // NewProxyClient builds a proxy client over an established upstream RPC
@@ -83,6 +96,9 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 		noncacheable: make(map[string]bool),
 		lastForward:  make(map[string]time.Duration),
 		recallFence:  make(map[string]uint64),
+		lastRead:     make(map[string]uint64),
+		flushWait:    make(map[string][]*vclock.Waiter),
+		fetchWait:    make(map[fetchKey][]*vclock.Waiter),
 		pollWindow:   cfg.PollPeriod,
 	}
 	p.srv.Register(nfs3.Program, nfs3.Version, p.dispatchNFS)
@@ -166,6 +182,9 @@ func (p *ProxyClient) AdoptCache(c *SessionCacheState) {
 	if c != nil && c.cache != nil {
 		p.cache = c.cache
 		p.cache.bs = p.cfg.BlockSize
+		// The previous owner's in-flight WRITEs and prefetch READs died with
+		// its process; stale marks would wedge flushing forever.
+		p.cache.clearInFlight()
 	}
 }
 
@@ -248,16 +267,17 @@ func (p *ProxyClient) Stats() ProxyClientStats {
 }
 
 // UpstreamCounts returns wide-area RPCs sent, keyed by prog<<32|proc,
-// accumulated across reconnections.
+// accumulated across reconnections. The live connection's counts are folded
+// in under the same lock that guards reconnection, so a concurrent reconnect
+// (which moves those counts into accum) can never be observed twice.
 func (p *ProxyClient) UpstreamCounts() map[uint64]int64 {
 	p.mu.Lock()
-	up := p.up
+	defer p.mu.Unlock()
 	out := make(map[uint64]int64, len(p.accum))
 	for k, v := range p.accum {
 		out[k] = v
 	}
-	p.mu.Unlock()
-	for k, v := range up.Counts() {
+	for k, v := range p.up.Counts() {
 		out[k] += v
 	}
 	return out
@@ -383,19 +403,104 @@ func (p *ProxyClient) flushLoop() {
 }
 
 func (p *ProxyClient) flushAll() {
+	var items []flushItem
 	for _, fh := range p.cache.dirtyFiles() {
-		p.flushFile(fh, 0, false)
+		for _, bn := range p.cache.dirtyBlocks(fh) {
+			items = append(items, flushItem{fh: fh, bn: bn})
+		}
 	}
+	p.flushParallel(items)
 }
 
-// flushFile writes back every dirty block of fh. When skipBn is valid the
-// block was already flushed by the caller.
+// flushFile writes back every dirty block of fh, then waits until no flush
+// of fh remains in flight — its own or a concurrent actor's — so callers
+// (SETATTR truncation, COMMIT, recalls) may order upstream operations after
+// the write-back. When skip is set, skipBn was already flushed by the
+// caller.
 func (p *ProxyClient) flushFile(fh nfs3.FH, skipBn uint64, skip bool) {
+	var items []flushItem
 	for _, bn := range p.cache.dirtyBlocks(fh) {
 		if skip && bn == skipBn {
 			continue
 		}
-		p.flushBlock(fh, bn)
+		items = append(items, flushItem{fh: fh, bn: bn})
+	}
+	p.flushParallel(items)
+	p.waitFlushIdle(fh)
+}
+
+// flushItem is one dirty block queued for write-back.
+type flushItem struct {
+	fh nfs3.FH
+	bn uint64
+}
+
+// flushParallel writes back the given dirty blocks with up to
+// Config.FlushParallelism WRITE RPCs in flight at once, so N blocks cost
+// about N/W round-trips. Blocks another actor is already flushing are
+// skipped (takeDirty refuses them), so concurrent flushers never
+// double-issue a WRITE; the per-block dirty-generation protocol keeps
+// re-dirtied blocks dirty regardless of completion order.
+func (p *ProxyClient) flushParallel(items []flushItem) {
+	w := p.cfg.FlushParallelism
+	if w > len(items) {
+		w = len(items)
+	}
+	if w <= 1 {
+		for _, it := range items {
+			p.flushBlock(it.fh, it.bn)
+		}
+		return
+	}
+	var mu sync.Mutex
+	next := 0
+	g := p.clk.NewGroup()
+	for i := 0; i < w; i++ {
+		g.Go("gvfs-flush-worker", func() {
+			for {
+				mu.Lock()
+				if next >= len(items) {
+					mu.Unlock()
+					return
+				}
+				it := items[next]
+				next++
+				mu.Unlock()
+				p.flushBlock(it.fh, it.bn)
+			}
+		})
+	}
+	g.Wait()
+}
+
+// flushDone clears a block's in-flight mark and wakes actors draining the
+// file's flushes.
+func (p *ProxyClient) flushDone(fh nfs3.FH, bn uint64) {
+	p.cache.endFlush(fh, bn)
+	key := fh.Key()
+	p.mu.Lock()
+	ws := p.flushWait[key]
+	delete(p.flushWait, key)
+	p.mu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// waitFlushIdle blocks (through the clock) until no flush of fh is in
+// flight.
+func (p *ProxyClient) waitFlushIdle(fh nfs3.FH) {
+	key := fh.Key()
+	for {
+		w := p.clk.NewWaiter()
+		p.mu.Lock()
+		if !p.cache.flushInFlight(fh) {
+			p.mu.Unlock()
+			return
+		}
+		p.flushWait[key] = append(p.flushWait[key], w)
+		p.mu.Unlock()
+		p.clk.WaitAs(w, "flush drain")
 	}
 }
 
@@ -405,6 +510,7 @@ func (p *ProxyClient) flushBlock(fh nfs3.FH, bn uint64) error {
 	if !ok {
 		return nil
 	}
+	defer p.flushDone(fh, bn)
 	if p.cfg.DiskDelay > 0 {
 		p.clk.Sleep(p.cfg.DiskDelay) // read the dirty block back from disk
 	}
@@ -709,20 +815,34 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 	bs := uint64(p.cfg.BlockSize)
 	bn := args.Offset / bs
 	aligned := args.Offset%bs == 0 && uint64(args.Count) <= bs
+	seq := p.noteRead(args.FH, bn)
 
 	// Dirty blocks are always ours to serve.
 	if aligned {
+		// A readahead for this block may already be in flight: wait for it
+		// rather than double-issuing the wide-area READ.
+		p.waitFetch(args.FH, bn)
 		if block, ok := p.cache.getBlock(args.FH, bn); ok {
 			if attr, attrOK := p.cache.getAttr(args.FH); attrOK && (p.servable(args.FH) || p.cache.hasDirty(args.FH)) {
-				p.hitLocal()
-				if p.cfg.DiskDelay > 0 {
-					p.clk.Sleep(p.cfg.DiskDelay) // read the block from the disk cache
+				if res := localReadRes(attr, block, args.Offset, args.Count, bs); res != nil {
+					p.hitLocal()
+					if p.cfg.DiskDelay > 0 {
+						p.clk.Sleep(p.cfg.DiskDelay) // read the block from the disk cache
+					}
+					if seq {
+						p.startReadAhead(args.FH, bn)
+					}
+					return encodeReply(call, res)
 				}
-				return encodeReply(call, localReadRes(attr, block, args.Offset, args.Count))
 			}
 		}
 	}
 
+	if aligned && seq {
+		// Kick the pipeline before the demand READ so the next blocks cross
+		// the wide area concurrently with this one.
+		p.startReadAhead(args.FH, bn)
+	}
 	var res nfs3.ReadRes
 	if _, err := p.callUpstream(nfs3.ProcRead, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.ReadRes{Status: nfs3.ErrJukebox})
@@ -738,19 +858,32 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 	return encodeReply(call, &res)
 }
 
-// localReadRes builds a READ reply from one cached block.
-func localReadRes(attr nfs3.Fattr, block []byte, offset uint64, count uint32) *nfs3.ReadRes {
+// localReadRes builds a READ reply from one cached block, or nil when the
+// requested range cannot be served from it (the caller then forwards
+// upstream). Tail blocks are stored at their natural, short length, so the
+// in-block offset must be derived from the configured block size — never
+// from len(block).
+func localReadRes(attr nfs3.Fattr, block []byte, offset uint64, count uint32, blockSize uint64) *nfs3.ReadRes {
 	size := attr.Size
 	if offset >= size {
 		return &nfs3.ReadRes{Status: nfs3.OK, Attr: nfs3.PostOpAttr{Present: true, Attr: attr}, EOF: true}
 	}
-	bo := int(offset % uint64(len(block)))
+	bo := int(offset % blockSize)
 	n := int(count)
 	if bo+n > len(block) {
 		n = len(block) - bo
 	}
-	if rem := size - offset; uint64(n) > rem {
+	if rem := size - offset; n > 0 && uint64(n) > rem {
 		n = int(rem)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n == 0 && count > 0 {
+		// The range starts at or past the end of a short-stored block yet
+		// inside the file (the block predates a remote append): the cache
+		// cannot serve it.
+		return nil
 	}
 	data := make([]byte, n)
 	copy(data, block[bo:bo+n])
@@ -760,6 +893,99 @@ func localReadRes(attr nfs3.Fattr, block []byte, offset uint64, count uint32) *n
 		Count:  uint32(n),
 		EOF:    offset+uint64(n) >= size,
 		Data:   data,
+	}
+}
+
+// noteRead records a read of block bn of fh and reports whether it continues
+// a sequential pattern (the previous read hit the preceding block).
+func (p *ProxyClient) noteRead(fh nfs3.FH, bn uint64) bool {
+	key := fh.Key()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	last, ok := p.lastRead[key]
+	p.lastRead[key] = bn
+	return ok && bn == last+1
+}
+
+// startReadAhead prefetches up to Config.ReadAhead blocks following bn, each
+// in its own actor so the wide-area READs are pipelined instead of paying
+// one round-trip per block. Blocks already cached, dirty, or being fetched
+// are skipped via the cache's in-flight accounting.
+func (p *ProxyClient) startReadAhead(fh nfs3.FH, bn uint64) {
+	ra := p.cfg.ReadAhead
+	if ra <= 0 || p.isNoncacheable(fh) {
+		return
+	}
+	p.mu.Lock()
+	stopped := p.stopped
+	p.mu.Unlock()
+	if stopped {
+		return
+	}
+	attr, ok := p.cache.getAttr(fh)
+	if !ok {
+		return
+	}
+	bs := uint64(p.cfg.BlockSize)
+	for i := uint64(1); i <= uint64(ra); i++ {
+		nb := bn + i
+		if nb*bs >= attr.Size {
+			break
+		}
+		if !p.cache.tryBeginFetch(fh, nb) {
+			continue
+		}
+		p.clk.Go("gvfs-readahead", func() { p.prefetchBlock(fh, nb) })
+	}
+}
+
+// prefetchBlock fetches one block across the wide area into the session
+// cache. The in-flight mark is cleared and waiting demand reads are woken
+// whether or not the fetch succeeded — on failure they simply forward.
+func (p *ProxyClient) prefetchBlock(fh nfs3.FH, bn uint64) {
+	defer p.fetchDone(fh, bn)
+	bs := uint64(p.cfg.BlockSize)
+	args := nfs3.ReadArgs{FH: fh, Offset: bn * bs, Count: uint32(bs)}
+	var res nfs3.ReadRes
+	if _, err := p.callUpstream(nfs3.ProcRead, &args, &res); err != nil {
+		return
+	}
+	if res.Status == nfs3.OK && res.Attr.Present && (uint64(res.Count) == bs || res.EOF) {
+		p.cache.putCleanBlock(fh, bn, res.Data, res.Attr.Attr)
+		p.mu.Lock()
+		p.stats.ReadAheads++
+		p.mu.Unlock()
+	}
+}
+
+// fetchDone clears a block's in-flight prefetch mark and wakes demand reads
+// waiting on it.
+func (p *ProxyClient) fetchDone(fh nfs3.FH, bn uint64) {
+	p.cache.endFetch(fh, bn)
+	k := fetchKey{fh: fh.Key(), bn: bn}
+	p.mu.Lock()
+	ws := p.fetchWait[k]
+	delete(p.fetchWait, k)
+	p.mu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// waitFetch blocks (through the clock) until no prefetch of (fh, bn) is in
+// flight.
+func (p *ProxyClient) waitFetch(fh nfs3.FH, bn uint64) {
+	k := fetchKey{fh: fh.Key(), bn: bn}
+	for {
+		w := p.clk.NewWaiter()
+		p.mu.Lock()
+		if !p.cache.fetchInFlight(fh, bn) {
+			p.mu.Unlock()
+			return
+		}
+		p.fetchWait[k] = append(p.fetchWait[k], w)
+		p.mu.Unlock()
+		p.clk.WaitAs(w, "readahead fetch")
 	}
 }
 
@@ -1147,15 +1373,21 @@ func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
 			if args.HasOffset {
 				p.flushBlock(args.FH, args.Offset/bs)
 			}
+			// A concurrent flusher (periodic flush, another recall) may still
+			// have WRITEs in flight for the blocks above — takeDirty refuses
+			// in-flight blocks, so our inline calls may have been no-ops.
+			// Drain before building the pending list so the reply's promises
+			// reflect durable state.
+			p.waitFlushIdle(args.FH)
 			for _, bn := range p.cache.dirtyBlocks(args.FH) {
 				res.Pending = append(res.Pending, bn*bs)
 			}
 			fh := args.FH
 			p.clk.Go("gvfs-recall-flush", func() { p.flushFile(fh, 0, false) })
 		} else {
-			for _, bn := range dirty {
-				p.flushBlock(args.FH, bn)
-			}
+			// Small dirty set: write everything back before replying, with
+			// the WRITEs pipelined up to FlushParallelism deep.
+			p.flushFile(args.FH, 0, false)
 		}
 	}
 	return encodeReply(call, &res)
