@@ -5,36 +5,46 @@
 // Usage:
 //
 //	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov] [-scale N] [-q]
+//	           [-metrics-out file]
 //
 // Scale 1 is the paper's full workload size; larger values shrink the
-// workloads proportionally for quick runs.
+// workloads proportionally for quick runs. With -metrics-out, every
+// deployment dumps its unified metrics registry (Prometheus text format) to
+// the named file, and the run fails if the dump is empty or malformed.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
 	quiet := flag.Bool("q", false, "suppress per-setup progress lines")
+	metricsOut := flag.String("metrics-out", "", "write per-deployment metrics dumps to this file (- for stderr)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *scale, *quiet); err != nil {
+	if err := run(os.Stdout, *exp, *scale, *quiet, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, scale int, quiet bool) error {
+func run(w io.Writer, exp string, scale int, quiet bool, metricsOut string) error {
 	opt := bench.Options{Scale: scale}
 	if !quiet {
 		opt.Progress = os.Stderr
+	}
+	var metricsBuf bytes.Buffer
+	if metricsOut != "" {
+		opt.MetricsOut = &metricsBuf
 	}
 	type experiment struct {
 		name string
@@ -113,6 +123,26 @@ func run(w io.Writer, exp string, scale int, quiet bool) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if metricsOut != "" {
+		// Self-validate before writing: an empty or malformed dump means the
+		// observability spine is broken, which is a failure, not a shrug.
+		samples, err := obs.ParseProm(bytes.NewReader(metricsBuf.Bytes()))
+		if err != nil {
+			return fmt.Errorf("metrics dump malformed: %w", err)
+		}
+		if samples == 0 {
+			return fmt.Errorf("metrics dump is empty")
+		}
+		if metricsOut == "-" {
+			_, err = os.Stderr.Write(metricsBuf.Bytes())
+		} else {
+			err = os.WriteFile(metricsOut, metricsBuf.Bytes(), 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("write metrics dump: %w", err)
+		}
+		fmt.Fprintf(w, "metrics: %d samples -> %s\n", samples, metricsOut)
 	}
 	return nil
 }

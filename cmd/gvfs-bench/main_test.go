@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig8", 4, true); err != nil {
+	if err := run(&sb, "fig8", 4, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -18,9 +23,33 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunMetricsDump(t *testing.T) {
+	var sb strings.Builder
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := run(&sb, "fig8", 8, true, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ParseProm(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("dump has no samples")
+	}
+	for _, want := range []string{"gvfs_client_forwards_total", "simnet_messages_total", "vclock_now_ns"} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("dump missing series %s", want)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig99", 1, true); err == nil {
+	if err := run(&sb, "fig99", 1, true, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/memfs"
 	"repro/internal/nfsserver"
+	"repro/internal/obs"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpnet"
 	"repro/internal/vclock"
@@ -27,14 +30,15 @@ import (
 func main() {
 	listen := flag.String("listen", ":2049", "TCP listen address")
 	seed := flag.String("seed", "", "optional local directory to pre-populate the export from")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
 	flag.Parse()
-	if err := run(*listen, *seed); err != nil {
+	if err := run(*listen, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-nfsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, seed string) error {
+func run(listen, seed, metrics string) error {
 	clk := vclock.NewReal()
 	mfs := memfs.New(clk.Now)
 	if seed != "" {
@@ -45,6 +49,16 @@ func run(listen, seed string) error {
 	srv := nfsserver.New(mfs, 1)
 	rpcSrv := sunrpc.NewServer(clk)
 	srv.Register(rpcSrv)
+	o := obs.New(clk.Now, 4096)
+	rpcSrv.SetObs(o.Node("nfsd"), core.RPCName)
+	if metrics != "" {
+		go func() {
+			log.Printf("gvfs-nfsd: metrics on http://%s/metrics", metrics)
+			if err := http.ListenAndServe(metrics, o.Handler(nil)); err != nil {
+				log.Printf("gvfs-nfsd: metrics server: %v", err)
+			}
+		}()
+	}
 
 	var tn tcpnet.Net
 	l, err := tn.Listen(listen)

@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpnet"
 	"repro/internal/vclock"
@@ -33,15 +35,16 @@ func main() {
 	session := flag.String("session", "default", "session key")
 	writeback := flag.Bool("writeback", false, "enable write-back caching")
 	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
 	flag.Parse()
 
-	if err := run(*listen, *cbListen, *cbAddr, *upstream, *model, *id, *session, *writeback, *poll); err != nil {
+	if err := run(*listen, *cbListen, *cbAddr, *upstream, *model, *id, *session, *writeback, *poll, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-proxyc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, cbListen, cbAddr, upstream, model, id, session string, writeback bool, poll time.Duration) error {
+func run(listen, cbListen, cbAddr, upstream, model, id, session string, writeback bool, poll time.Duration, metrics string) error {
 	cfg := core.Config{PollPeriod: poll, WriteBack: writeback}
 	switch model {
 	case "polling":
@@ -53,6 +56,9 @@ func run(listen, cbListen, cbAddr, upstream, model, id, session string, writebac
 	}
 
 	clk := vclock.NewReal()
+	o := obs.New(clk.Now, 4096)
+	cfg.Obs = o
+	cfg.ObsName = id
 	var tn tcpnet.Net
 	upConn, err := tn.Dial(upstream)
 	if err != nil {
@@ -64,6 +70,14 @@ func run(listen, cbListen, cbAddr, upstream, model, id, session string, writebac
 	}
 	cred := core.SessionCred{SessionKey: session, ClientID: id, CallbackAddr: cbAddr}
 	proxy := core.NewProxyClient(clk, cfg, sunrpc.NewClient(clk, upConn, sunrpc.NoneCred()), cred)
+	if metrics != "" {
+		go func() {
+			log.Printf("gvfs-proxyc: metrics on http://%s/metrics", metrics)
+			if err := http.ListenAndServe(metrics, o.Handler(proxy.PublishMetrics)); err != nil {
+				log.Printf("gvfs-proxyc: metrics server: %v", err)
+			}
+		}()
+	}
 	proxy.SetRedial(func() (*sunrpc.Client, error) {
 		c, err := tn.Dial(upstream)
 		if err != nil {

@@ -11,10 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpnet"
 	"repro/internal/transport"
@@ -27,15 +29,16 @@ func main() {
 	model := flag.String("model", "polling", "consistency model: polling or delegation")
 	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
 	expiry := flag.Duration("deleg-expiry", 10*time.Minute, "delegation expiration period")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
 	flag.Parse()
 
-	if err := run(*listen, *upstream, *model, *poll, *expiry); err != nil {
+	if err := run(*listen, *upstream, *model, *poll, *expiry, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-proxyd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, upstream, model string, poll, expiry time.Duration) error {
+func run(listen, upstream, model string, poll, expiry time.Duration, metrics string) error {
 	cfg := core.Config{PollPeriod: poll, DelegExpiry: expiry}
 	switch model {
 	case "polling":
@@ -47,6 +50,8 @@ func run(listen, upstream, model string, poll, expiry time.Duration) error {
 	}
 
 	clk := vclock.NewReal()
+	o := obs.New(clk.Now, 4096)
+	cfg.Obs = o
 	var tn tcpnet.Net
 	upConn, err := tn.Dial(upstream)
 	if err != nil {
@@ -56,6 +61,14 @@ func run(listen, upstream, model string, poll, expiry time.Duration) error {
 
 	dial := func(addr string) (transport.Conn, error) { return tn.Dial(addr) }
 	srv := core.NewProxyServer(clk, cfg, up, dial, &core.MemStateStore{})
+	if metrics != "" {
+		go func() {
+			log.Printf("gvfs-proxyd: metrics on http://%s/metrics", metrics)
+			if err := http.ListenAndServe(metrics, o.Handler(srv.PublishMetrics)); err != nil {
+				log.Printf("gvfs-proxyd: metrics server: %v", err)
+			}
+		}()
+	}
 
 	l, err := tn.Listen(listen)
 	if err != nil {

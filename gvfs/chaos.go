@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nfsclient"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -71,6 +72,10 @@ type ChaosOptions struct {
 	// many dirty-block WRITEs a proxy-client flush keeps in flight at
 	// once. 0 keeps the core default (serial).
 	FlushParallelism int
+	// TraceAll dumps the span trace of every contended path into
+	// ChaosReport.Traces, not just paths implicated in a violation — for
+	// replay-determinism assertions and offline inspection.
+	TraceAll bool
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -157,11 +162,11 @@ func chaosHost(i int) string { return fmt.Sprintf("C%d", i+1) }
 
 // ChaosReport summarizes a chaos run for assertions and debugging.
 type ChaosReport struct {
-	Plan       ChaosPlan
-	Ops        int
-	Reads      int
-	Writes     int
-	OpErrors   int // ops that returned an error (indeterminate, not violations)
+	Plan     ChaosPlan
+	Ops      int
+	Reads    int
+	Writes   int
+	OpErrors int // ops that returned an error (indeterminate, not violations)
 	// ErrorSamples holds up to 10 formatted op errors for debugging.
 	ErrorSamples []string
 	Violations   []string
@@ -175,7 +180,19 @@ type ChaosReport struct {
 
 	ClientStats core.ProxyClientStats // summed over all mounts
 	ServerStats core.ProxyServerStats // the final server incarnation
+
+	// Traces maps each path implicated in a violation to the formatted
+	// span trace of every retained RPC that touched it — request IDs and
+	// virtual timestamps across kernel clients, proxies, and the server —
+	// so a seeded failure can be diagnosed without rerunning.
+	Traces map[string]string
+
+	// Metrics is the unified registry snapshot taken after the drain.
+	Metrics obs.Snapshot
 }
+
+// traceSpans bounds how many spans a per-path violation trace retains.
+const traceSpans = 400
 
 // chaosOp is one recorded operation; the checker replays these after the
 // run completes.
@@ -391,6 +408,33 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 	} else {
 		rep.Violations = append(rep.Violations, v...)
 	}
+
+	// Attach the virtual-time span trace for every implicated path: a
+	// violation message always names its path followed by a delimiter, so a
+	// substring probe is enough to decide which files need dumping.
+	implicated := func(p string) bool {
+		if o.TraceAll {
+			return true
+		}
+		for _, v := range rep.Violations {
+			if strings.Contains(v, p+" ") || strings.Contains(v, p+":") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range paths {
+		if !implicated(p) {
+			continue
+		}
+		if spans, err := d.TraceForPath(p, traceSpans); err == nil {
+			if rep.Traces == nil {
+				rep.Traces = make(map[string]string)
+			}
+			rep.Traces[p] = obs.FormatSpans(spans)
+		}
+	}
+	rep.Metrics = d.PublishMetrics()
 
 	rep.NetEvents = d.Net.Events()
 	rep.NetStats = d.Net.TotalStats()

@@ -63,6 +63,9 @@ func TestChaosBothModels(t *testing.T) {
 			for _, v := range rep.Violations {
 				t.Errorf("violation: %s", v)
 			}
+			for p, trace := range rep.Traces {
+				t.Logf("span trace for %s:\n%s", p, trace)
+			}
 			if rep.Restarts != 1 {
 				t.Errorf("proxy-server restarts = %d, want 1", rep.Restarts)
 			}
@@ -114,6 +117,9 @@ func TestChaosSeedReproducible(t *testing.T) {
 	for _, rep := range []*ChaosReport{r1, r2} {
 		for _, v := range rep.Violations {
 			t.Errorf("violation: %s", v)
+		}
+		for p, trace := range rep.Traces {
+			t.Logf("span trace for %s:\n%s", p, trace)
 		}
 	}
 	if len(r1.NetEvents) != len(r2.NetEvents) {

@@ -26,6 +26,7 @@ package gvfs
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/nfscall"
 	"repro/internal/nfsclient"
 	"repro/internal/nfsserver"
+	"repro/internal/obs"
 	"repro/internal/secure"
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
@@ -53,6 +55,8 @@ type Config struct {
 	// ServerHost names the host running the NFS server and proxy servers.
 	// Defaults to "server".
 	ServerHost string
+	// TraceRing bounds each node's span ring buffer (default 4096 spans).
+	TraceRing int
 }
 
 // Deployment is a file server plus a (simulated) network that sessions and
@@ -64,6 +68,10 @@ type Deployment struct {
 	// setup may populate it directly (that models local activity on the
 	// server, not wide-area traffic).
 	FS *memfs.FS
+	// Obs is the deployment-wide observability spine: request IDs minted at
+	// the emulated kernel clients flow through every proxy hop, and all
+	// components share one metrics registry.
+	Obs *obs.Obs
 
 	serverHost string
 	nfsAddr    string
@@ -91,16 +99,23 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if cfg.RealTime {
 		clk = vclock.NewReal()
 	}
+	if cfg.TraceRing == 0 {
+		cfg.TraceRing = 4096
+	}
 	net := simnet.New(clk, cfg.WAN)
 	fs := memfs.New(clk.Now)
 	nfsSrv := nfsserver.New(fs, 1)
 	rpcSrv := sunrpc.NewServer(clk)
 	nfsSrv.Register(rpcSrv)
+	o := obs.New(clk.Now, cfg.TraceRing)
+	rpcSrv.SetObs(o.Node("nfsd"), core.RPCName)
+	net.SetObs(o.Registry())
 
 	d := &Deployment{
 		Clock:      clk,
 		Net:        net,
 		FS:         fs,
+		Obs:        o,
 		serverHost: cfg.ServerHost,
 		nfsAddr:    cfg.ServerHost + ":2049",
 		rpcSrv:     rpcSrv,
@@ -240,6 +255,10 @@ type Session struct {
 // NewSession creates and configures a session proxy server on the server
 // host. Call within Run/Go.
 func (d *Deployment) NewSession(name string, cfg core.Config) (*Session, error) {
+	// Every session component shares the deployment's observability spine;
+	// s.Cfg keeps the wiring so RestartProxyServer inherits it.
+	cfg.Obs = d.Obs
+	cfg.ObsName = name
 	host := d.Net.Host(d.serverHost)
 	conn, err := host.Dial(d.nfsAddr)
 	if err != nil {
@@ -403,7 +422,11 @@ func (s *Session) mountWithCache(hostname string, kopts nfsclient.Options, cache
 		ClientID:     hostname + "/" + s.Name,
 		CallbackAddr: fmt.Sprintf("%s:%d", hostname, cbPort),
 	}
-	proxy := core.NewProxyClient(d.Clock, s.Cfg, up, cred)
+	// Each mount is its own observability node, named by the session-scoped
+	// client ID so concurrent mounts never collide in the trace.
+	pcfg := s.Cfg
+	pcfg.ObsName = cred.ClientID
+	proxy := core.NewProxyClient(d.Clock, pcfg, up, cred)
 	proxy.AdoptCache(cache)
 	proxy.SetRedial(func() (*sunrpc.Client, error) {
 		c, err := h.Dial(s.addr)
@@ -470,6 +493,9 @@ func attachKernelClient(d *Deployment, hostname, addr string, kopts nfsclient.Op
 		return nil, fmt.Errorf("gvfs: mount on %s: %w", hostname, err)
 	}
 	rpc := sunrpc.NewClient(d.Clock, conn, sunrpc.SysCred(hostname, 0, 0))
+	// Request IDs are minted here, at the emulated kernel client: every RPC
+	// it issues gets a fresh ID that the proxies propagate downstream.
+	rpc.SetObs(d.Obs.Node("kern:"+hostname), core.RPCName)
 	nc := nfscall.New(rpc)
 	root, err := nc.Mount("/export")
 	if err != nil {
@@ -539,6 +565,89 @@ func SumAll(counts map[string]int64) int64 {
 		total += v
 	}
 	return total
+}
+
+// FHForPath resolves a server-side path to the NFS file handle the whole
+// pipeline stamps on its spans, for trace queries.
+func (d *Deployment) FHForPath(path string) (nfs3.FH, error) {
+	attr, err := d.FS.LookupPath(path)
+	if err != nil {
+		return nfs3.FH{}, fmt.Errorf("gvfs: trace lookup %s: %w", path, err)
+	}
+	return nfs3.MakeFH(1, uint64(attr.ID)), nil
+}
+
+// TraceForFH reconstructs the causal trace touching one file: every
+// retained span stamped with the handle, plus every span sharing a request
+// ID with one of those (the kernel call that triggered a forward, the
+// upstream leg, a recall fan-out, readahead children). Spans are returned
+// in canonical order; cap with max <= 0 for all.
+func (d *Deployment) TraceForFH(fh nfs3.FH, max int) []obs.Span {
+	key := fh.String()
+	all := d.Obs.Spans()
+	reqs := make(map[uint64]bool)
+	for _, s := range all {
+		if s.FH != key {
+			continue
+		}
+		if s.Req != 0 {
+			reqs[s.Req] = true
+		}
+		if s.Parent != 0 {
+			reqs[s.Parent] = true
+		}
+	}
+	var out []obs.Span
+	for _, s := range all {
+		if s.FH == key || (s.Req != 0 && reqs[s.Req]) || (s.Parent != 0 && reqs[s.Parent]) {
+			out = append(out, s)
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// TraceForPath is TraceForFH keyed by server-side path.
+func (d *Deployment) TraceForPath(path string, max int) ([]obs.Span, error) {
+	fh, err := d.FHForPath(path)
+	if err != nil {
+		return nil, err
+	}
+	return d.TraceForFH(fh, max), nil
+}
+
+// PublishMetrics refreshes every sampled gauge (cache occupancy,
+// invalidation-buffer depth, open delegations, scheduler state) so a
+// snapshot taken right after reflects current state, and returns the
+// snapshot.
+func (d *Deployment) PublishMetrics() obs.Snapshot {
+	d.mu.Lock()
+	sessions := append([]*Session(nil), d.sessions...)
+	mounts := append([]*Mount(nil), d.mounts...)
+	d.mu.Unlock()
+	for _, s := range sessions {
+		s.srv.PublishMetrics()
+	}
+	for _, m := range mounts {
+		if m.Proxy != nil {
+			m.Proxy.PublishMetrics()
+		}
+	}
+	diag := d.Clock.Diag()
+	reg := d.Obs.Registry()
+	reg.Gauge("vclock_now_ns").Set(int64(diag.Now))
+	reg.Gauge("vclock_actors").Set(int64(diag.Actors))
+	reg.Gauge("vclock_runnable").Set(int64(diag.Runnable))
+	reg.Gauge("vclock_timers").Set(int64(diag.Timers))
+	return reg.Snapshot()
+}
+
+// WriteMetrics publishes and writes the unified registry in Prometheus
+// text exposition format.
+func (d *Deployment) WriteMetrics(w io.Writer) error {
+	return d.PublishMetrics().WriteProm(w)
 }
 
 // Elapsed is a convenience for timing a workload in the deployment's clock.

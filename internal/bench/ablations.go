@@ -48,7 +48,7 @@ func RunPollPeriodAblation(opt Options) (AblationResult, error) {
 		{"120s fixed", 120 * time.Second, 0},
 		{"5s..120s backoff", 5 * time.Second, 120 * time.Second},
 	} {
-		row, err := runPollVariant(v.name, v.period, v.backoff)
+		row, err := runPollVariant(opt, v.name, v.period, v.backoff)
 		if err != nil {
 			return res, fmt.Errorf("poll ablation %s: %w", v.name, err)
 		}
@@ -60,7 +60,7 @@ func RunPollPeriodAblation(opt Options) (AblationResult, error) {
 
 // runPollVariant measures how long a reader's view stays stale after a
 // writer's update, and the GETINV cost over a mixed busy/idle timeline.
-func runPollVariant(name string, period, backoff time.Duration) (AblationRow, error) {
+func runPollVariant(opt Options, name string, period, backoff time.Duration) (AblationRow, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{})
 	if err != nil {
 		return AblationRow{}, err
@@ -128,6 +128,7 @@ func runPollVariant(name string, period, backoff time.Duration) (AblationRow, er
 			row.RPCs[k] += v
 		}
 	})
+	opt.dumpMetrics("ablate-poll "+name, d)
 	return row, runErr
 }
 
@@ -137,7 +138,7 @@ func runPollVariant(name string, period, backoff time.Duration) (AblationRow, er
 func RunBufferSizeAblation(opt Options) (AblationResult, error) {
 	res := AblationResult{Name: "invalidation buffer size (Section 4.2.3)", Columns: "force-invalidations vs buffer entries"}
 	for _, entries := range []int{4, 16, 64, 1024} {
-		row, err := runBufferVariant(entries)
+		row, err := runBufferVariant(opt, entries)
 		if err != nil {
 			return res, fmt.Errorf("buffer ablation %d: %w", entries, err)
 		}
@@ -147,7 +148,7 @@ func RunBufferSizeAblation(opt Options) (AblationResult, error) {
 	return res, nil
 }
 
-func runBufferVariant(entries int) (AblationRow, error) {
+func runBufferVariant(opt Options, entries int) (AblationRow, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{})
 	if err != nil {
 		return AblationRow{}, err
@@ -197,6 +198,7 @@ func runBufferVariant(entries int) (AblationRow, error) {
 			row.RPCs[k] += v
 		}
 	})
+	opt.dumpMetrics(fmt.Sprintf("ablate-buffer %d", entries), d)
 	return row, runErr
 }
 
@@ -206,7 +208,7 @@ func runBufferVariant(entries int) (AblationRow, error) {
 func RunDelegExpiryAblation(opt Options) (AblationResult, error) {
 	res := AblationResult{Name: "delegation expiration (Section 4.3.3)", Columns: "callbacks + residual state vs expiry"}
 	for _, expiry := range []time.Duration{30 * time.Second, 2 * time.Minute, 10 * time.Minute} {
-		row, err := runExpiryVariant(expiry)
+		row, err := runExpiryVariant(opt, expiry)
 		if err != nil {
 			return res, fmt.Errorf("expiry ablation %v: %w", expiry, err)
 		}
@@ -221,7 +223,7 @@ func (r AblationRow) Columns() string {
 	return fmt.Sprintf("%v", r.RPCs)
 }
 
-func runExpiryVariant(expiry time.Duration) (AblationRow, error) {
+func runExpiryVariant(opt Options, expiry time.Duration) (AblationRow, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{})
 	if err != nil {
 		return AblationRow{}, err
@@ -263,6 +265,7 @@ func runExpiryVariant(expiry time.Duration) (AblationRow, error) {
 		row.RPCs["state-sharers"] = int64(sharers)
 		row.RPCs["GETATTR"] = m.WANCounts()["GETATTR"]
 	})
+	opt.dumpMetrics("ablate-expiry "+expiry.String(), d)
 	return row, runErr
 }
 
@@ -276,7 +279,7 @@ func RunFlushPipelineAblation(opt Options) (AblationResult, error) {
 	res := AblationResult{Name: "write-back & readahead pipeline", Columns: "flush / cold-read latency vs wide-area concurrency"}
 	const blocks = 16
 	for _, w := range []int{1, 2, 4, 8} {
-		row, err := runFlushVariant(w, blocks)
+		row, err := runFlushVariant(opt, w, blocks)
 		if err != nil {
 			return res, fmt.Errorf("flush ablation W=%d: %w", w, err)
 		}
@@ -284,7 +287,7 @@ func RunFlushPipelineAblation(opt Options) (AblationResult, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	for _, ra := range []int{0, 2, 4, 8} {
-		row, err := runReadAheadVariant(ra, blocks)
+		row, err := runReadAheadVariant(opt, ra, blocks)
 		if err != nil {
 			return res, fmt.Errorf("readahead ablation RA=%d: %w", ra, err)
 		}
@@ -302,7 +305,7 @@ var pipelineWAN = simnet.Params{RTT: 40 * time.Millisecond}
 // runFlushVariant buffers `blocks` dirty blocks at the proxy client and
 // measures how long the synchronous write-back triggered by a truncation
 // takes with FlushParallelism = w.
-func runFlushVariant(w, blocks int) (AblationRow, error) {
+func runFlushVariant(opt Options, w, blocks int) (AblationRow, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{WAN: pipelineWAN})
 	if err != nil {
 		return AblationRow{}, err
@@ -366,12 +369,13 @@ func runFlushVariant(w, blocks int) (AblationRow, error) {
 			row.RPCs[k] += v
 		}
 	})
+	opt.dumpMetrics(fmt.Sprintf("ablate-flush W=%d", w), d)
 	return row, runErr
 }
 
 // runReadAheadVariant measures a cold sequential read of `blocks` blocks
 // with readahead depth ra.
-func runReadAheadVariant(ra, blocks int) (AblationRow, error) {
+func runReadAheadVariant(opt Options, ra, blocks int) (AblationRow, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{WAN: pipelineWAN})
 	if err != nil {
 		return AblationRow{}, err
@@ -415,6 +419,7 @@ func runReadAheadVariant(ra, blocks int) (AblationRow, error) {
 			row.RPCs[k] += v
 		}
 	})
+	opt.dumpMetrics(fmt.Sprintf("ablate-readahead RA=%d", ra), d)
 	return row, runErr
 }
 

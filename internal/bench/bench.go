@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/gvfs"
 	"repro/internal/nfsclient"
 )
 
@@ -26,6 +28,27 @@ type Options struct {
 	Scale int
 	// Progress, when non-nil, receives one line per completed setup.
 	Progress io.Writer
+	// MetricsOut, when non-nil, receives one Prometheus text-format dump of
+	// the unified obs registry per deployment, labeled with a comment line
+	// naming the setup it came from.
+	MetricsOut io.Writer
+}
+
+// metricsMu serializes dumps when experiments share one MetricsOut.
+var metricsMu sync.Mutex
+
+// dumpMetrics writes the deployment's metrics registry to MetricsOut. Call
+// it at the end of a setup, before the deployment closes.
+func (o Options) dumpMetrics(name string, d *gvfs.Deployment) {
+	if o.MetricsOut == nil {
+		return
+	}
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	fmt.Fprintf(o.MetricsOut, "# gvfs-bench setup %q\n", name)
+	if err := d.WriteMetrics(o.MetricsOut); err != nil {
+		fmt.Fprintf(o.MetricsOut, "# dump failed: %v\n", err)
+	}
 }
 
 func (o Options) scale() int {

@@ -7,7 +7,7 @@ import (
 )
 
 func TestDiagFig6CB(t *testing.T) {
-	setup, err := runFig6NFS("GVFS-cb", workload.LockConfig{Acquisitions: 10})
+	setup, err := runFig6NFS(Options{}, "GVFS-cb", workload.LockConfig{Acquisitions: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,7 +50,7 @@ func RunFig4(opt Options) (Fig4Result, error) {
 		{"WAN", simnet.WAN},
 	} {
 		for _, mode := range []string{"NFS", "GVFS", "GVFS-WB"} {
-			setup, load, err := runFig4Setup(network.p, mode, cfg)
+			setup, load, err := runFig4Setup(opt, network.p, mode, cfg)
 			if err != nil {
 				return res, fmt.Errorf("fig4 %s/%s: %w", network.name, mode, err)
 			}
@@ -67,7 +67,7 @@ func RunFig4(opt Options) (Fig4Result, error) {
 	return res, nil
 }
 
-func runFig4Setup(link simnet.Params, mode string, cfg workload.MakeConfig) (Setup, int64, error) {
+func runFig4Setup(opt Options, link simnet.Params, mode string, cfg workload.MakeConfig) (Setup, int64, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{WAN: link})
 	if err != nil {
 		return Setup{}, 0, err
@@ -109,6 +109,7 @@ func runFig4Setup(link simnet.Params, mode string, cfg workload.MakeConfig) (Set
 		setup.Runtime = st.Elapsed
 		addCounts(setup.RPCs, m.WANCounts())
 	})
+	opt.dumpMetrics(fmt.Sprintf("fig4 %v %s", link.RTT, mode), d)
 	var load int64
 	for proc, n := range d.ServerCounts() {
 		if proc != "MOUNT" && proc != "NULL" {

@@ -49,7 +49,7 @@ func RunFig5(opt Options) (Fig5Result, error) {
 	for _, rtt := range res.RTTs {
 		link := simnet.Params{RTT: rtt, Bandwidth: 100_000_000 / 8}
 		for _, mode := range []string{"NFS", "GVFS1", "GVFS2"} {
-			rt, err := runFig5Setup(link, mode, cfg)
+			rt, err := runFig5Setup(opt, link, mode, cfg)
 			if err != nil {
 				return res, fmt.Errorf("fig5 rtt=%v %s: %w", rtt, mode, err)
 			}
@@ -60,7 +60,7 @@ func RunFig5(opt Options) (Fig5Result, error) {
 	return res, nil
 }
 
-func runFig5Setup(link simnet.Params, mode string, cfg workload.PostMarkConfig) (time.Duration, error) {
+func runFig5Setup(opt Options, link simnet.Params, mode string, cfg workload.PostMarkConfig) (time.Duration, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{WAN: link})
 	if err != nil {
 		return 0, err
@@ -120,6 +120,7 @@ func runFig5Setup(link simnet.Params, mode string, cfg workload.PostMarkConfig) 
 		}
 		runtime = st.Elapsed
 	})
+	opt.dumpMetrics(fmt.Sprintf("fig5 %v %s", link.RTT, mode), d)
 	return runtime, runErr
 }
 

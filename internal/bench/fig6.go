@@ -42,7 +42,7 @@ func RunFig6(opt Options) (Fig6Result, error) {
 		if mode == "AFS" {
 			setup, err = runFig6AFS(cfg)
 		} else {
-			setup, err = runFig6NFS(mode, cfg)
+			setup, err = runFig6NFS(opt, mode, cfg)
 		}
 		if err != nil {
 			return res, fmt.Errorf("fig6 %s: %w", mode, err)
@@ -54,7 +54,7 @@ func RunFig6(opt Options) (Fig6Result, error) {
 	return res, nil
 }
 
-func runFig6NFS(mode string, cfg workload.LockConfig) (Fig6Setup, error) {
+func runFig6NFS(opt Options, mode string, cfg workload.LockConfig) (Fig6Setup, error) {
 	cfg = applyLockDefaults(cfg)
 	d, err := gvfs.NewDeployment(gvfs.Config{})
 	if err != nil {
@@ -120,6 +120,7 @@ func runFig6NFS(mode string, cfg workload.LockConfig) (Fig6Setup, error) {
 			setup.RPCs["CALLBACK"] += sess.ProxyServer().Stats().CallbacksSent
 		}
 	})
+	opt.dumpMetrics("fig6 "+mode, d)
 	return setup, runErr
 }
 

@@ -48,7 +48,7 @@ func RunFig7(opt Options) (Fig7Result, error) {
 		for _, mode := range []string{"NFS", "GVFS"} {
 			cfg := base
 			cfg.UpdateMPITBOnly = variant.mpitbOnly
-			series, err := runFig7Setup(mode, cfg)
+			series, err := runFig7Setup(opt, mode, cfg)
 			if err != nil {
 				return res, fmt.Errorf("fig7 %s/%s: %w", variant.key, mode, err)
 			}
@@ -59,7 +59,7 @@ func RunFig7(opt Options) (Fig7Result, error) {
 	return res, nil
 }
 
-func runFig7Setup(mode string, cfg workload.NanoMOSConfig) (Fig7Series, error) {
+func runFig7Setup(opt Options, mode string, cfg workload.NanoMOSConfig) (Fig7Series, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{})
 	if err != nil {
 		return Fig7Series{}, err
@@ -157,6 +157,7 @@ func runFig7Setup(mode string, cfg workload.NanoMOSConfig) (Fig7Series, error) {
 			d.Clock.Sleep(35 * time.Second)
 		}
 	})
+	opt.dumpMetrics("fig7 "+mode, d)
 	return series, runErr
 }
 

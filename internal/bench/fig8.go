@@ -32,7 +32,7 @@ func RunFig8(opt Options) (Fig8Result, error) {
 		cfg.Runs = max(15/s, 4)
 	}
 	for _, mode := range []string{"NFS", "GVFS"} {
-		series, err := runFig8Setup(mode, cfg)
+		series, err := runFig8Setup(opt, mode, cfg)
 		if err != nil {
 			return res, fmt.Errorf("fig8 %s: %w", mode, err)
 		}
@@ -42,7 +42,7 @@ func RunFig8(opt Options) (Fig8Result, error) {
 	return res, nil
 }
 
-func runFig8Setup(mode string, cfg workload.CH1DConfig) (Fig8Series, error) {
+func runFig8Setup(opt Options, mode string, cfg workload.CH1DConfig) (Fig8Series, error) {
 	d, err := gvfs.NewDeployment(gvfs.Config{})
 	if err != nil {
 		return Fig8Series{}, err
@@ -86,6 +86,7 @@ func runFig8Setup(mode string, cfg workload.CH1DConfig) (Fig8Series, error) {
 			series.Callbacks = sess.ProxyServer().Stats().CallbacksSent
 		}
 	})
+	opt.dumpMetrics("fig8 "+mode, d)
 	return series, runErr
 }
 

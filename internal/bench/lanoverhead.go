@@ -26,7 +26,7 @@ func RunLANOverhead(opt Options) (LANOverheadResult, error) {
 		}
 	}
 	for _, mode := range []string{"NFS", "GVFS", "GVFS-WB"} {
-		setup, _, err := runFig4Setup(simnet.LAN, mode, cfg)
+		setup, _, err := runFig4Setup(opt, simnet.LAN, mode, cfg)
 		if err != nil {
 			return res, fmt.Errorf("lan overhead %s: %w", mode, err)
 		}

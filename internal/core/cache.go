@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"repro/internal/nfs3"
@@ -401,17 +402,23 @@ func (sc *sessionCache) dirtyBlocks(fh nfs3.FH) []uint64 {
 	return out
 }
 
-// dirtyFiles lists handles with buffered dirty data. The handles are
-// reconstructed from map keys.
+// dirtyFiles lists handles with buffered dirty data, in stable key order so
+// flush passes issue their WRITEs in the same order every run. The handles
+// are reconstructed from map keys.
 func (sc *sessionCache) dirtyFiles() []nfs3.FH {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	var out []nfs3.FH
+	keys := make([]string, 0, len(sc.files))
 	for key, fc := range sc.files {
 		if len(fc.dirty) > 0 {
-			if fh, err := nfs3.FHFromBytes([]byte(key)); err == nil {
-				out = append(out, fh)
-			}
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	var out []nfs3.FH
+	for _, key := range keys {
+		if fh, err := nfs3.FHFromBytes([]byte(key)); err == nil {
+			out = append(out, fh)
 		}
 	}
 	return out

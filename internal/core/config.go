@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Model selects a GVFS session's cache consistency protocol.
 type Model int
@@ -122,6 +126,15 @@ type Config struct {
 	// provides. Applied at the transport layer by the middleware (the gvfs
 	// package); loopback traffic stays plain.
 	Encrypt bool
+
+	// Obs, when set, is the deployment-wide observability spine (trace
+	// recorder + metrics registry) the proxy records into. When nil the
+	// proxy creates a private one, so the Stats views keep working for
+	// standalone use.
+	Obs *obs.Obs
+	// ObsName qualifies this component's trace node name (for example a
+	// session name). Defaults to the session credential's client ID.
+	ObsName string
 }
 
 func (c Config) withDefaults() Config {

@@ -60,7 +60,7 @@ func TestUpstreamCountsStableUnderReconnect(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			g.Go("null-hammer", func() {
 				for j := 0; j < 100; j++ {
-					p.rawCall(nfs3.Program, nfs3.Version, nfs3.ProcNull, nil)
+					p.rawCall(0, nfs3.Program, nfs3.Version, nfs3.ProcNull, nil)
 				}
 			})
 		}

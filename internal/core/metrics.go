@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nfs3"
+	"repro/internal/obs"
+)
+
+// RPCName renders (prog, proc) as the operation name used in traces and
+// per-RPC counters, matching the names the paper's figures use.
+func RPCName(prog, proc uint32) string {
+	switch prog {
+	case nfs3.Program:
+		return nfs3.ProcName(proc)
+	case InvProgram:
+		return "GETINV"
+	case CallbackProgram:
+		switch proc {
+		case ProcRecall:
+			return "RECALL"
+		case ProcRecallAll:
+			return "RECALL-ALL"
+		}
+		return "CALLBACK"
+	case nfs3.MountProgram:
+		return "MOUNT"
+	}
+	return fmt.Sprintf("PROG%d.%d", prog, proc)
+}
+
+// shortModel abbreviates a Model for span records.
+func shortModel(m Model) string {
+	switch m {
+	case ModelPolling:
+		return "poll"
+	case ModelDelegation:
+		return "deleg"
+	default:
+		return "-"
+	}
+}
+
+// clientMetrics holds the proxy client's registry series, labeled by node so
+// multiple sessions share one registry without colliding.
+type clientMetrics struct {
+	localHits          *obs.Counter
+	forwards           *obs.Counter
+	invalidations      *obs.Counter
+	forceInvalidations *obs.Counter
+	recalls            *obs.Counter
+	flushedBlocks      *obs.Counter
+	upstreamRetries    *obs.Counter
+	flushErrors        *obs.Counter
+	readAheads         *obs.Counter
+	readaheadJoins     *obs.Counter
+	renewBypass        *obs.Counter
+
+	flushInflight  *obs.Gauge
+	getinvBatch    *obs.Histogram
+	forwardLatency *obs.Histogram
+
+	cacheAttrs, cacheLookups, cacheFiles, cacheBytes *obs.Gauge
+}
+
+func newClientMetrics(reg *obs.Registry, node string) *clientMetrics {
+	l := func(name string) string { return obs.Label(name, "node", node) }
+	return &clientMetrics{
+		localHits:          reg.Counter(l("gvfs_client_local_hits_total")),
+		forwards:           reg.Counter(l("gvfs_client_forwards_total")),
+		invalidations:      reg.Counter(l("gvfs_client_invalidations_total")),
+		forceInvalidations: reg.Counter(l("gvfs_client_force_invalidations_total")),
+		recalls:            reg.Counter(l("gvfs_client_recalls_total")),
+		flushedBlocks:      reg.Counter(l("gvfs_client_flushed_blocks_total")),
+		upstreamRetries:    reg.Counter(l("gvfs_client_upstream_retries_total")),
+		flushErrors:        reg.Counter(l("gvfs_client_flush_errors_total")),
+		readAheads:         reg.Counter(l("gvfs_client_readaheads_total")),
+		readaheadJoins:     reg.Counter(l("gvfs_client_readahead_joins_total")),
+		renewBypass:        reg.Counter(l("gvfs_client_deleg_renew_bypass_total")),
+		flushInflight:      reg.Gauge(l("gvfs_client_flush_inflight")),
+		getinvBatch:        reg.Histogram(l("gvfs_client_getinv_batch"), obs.CountBuckets),
+		forwardLatency:     reg.Histogram(l("gvfs_client_forward_latency"), obs.DurationBuckets),
+		cacheAttrs:         reg.Gauge(l("gvfs_client_cache_attrs")),
+		cacheLookups:       reg.Gauge(l("gvfs_client_cache_lookups")),
+		cacheFiles:         reg.Gauge(l("gvfs_client_cache_files")),
+		cacheBytes:         reg.Gauge(l("gvfs_client_cache_bytes")),
+	}
+}
+
+// serverMetrics holds the proxy server's registry series.
+type serverMetrics struct {
+	getInvServed     *obs.Counter
+	forceReplies     *obs.Counter
+	invQueued        *obs.Counter
+	callbacksSent    *obs.Counter
+	forwards         *obs.Counter
+	delegReadGrants  *obs.Counter
+	delegWriteGrants *obs.Counter
+	delegRecalls     *obs.Counter
+	invOverflows     *obs.Counter
+
+	getinvBatch  *obs.Histogram
+	invBufferOcc *obs.Gauge
+	openFiles    *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry, node string) *serverMetrics {
+	l := func(name string) string { return obs.Label(name, "node", node) }
+	return &serverMetrics{
+		getInvServed:     reg.Counter(l("gvfs_server_getinv_served_total")),
+		forceReplies:     reg.Counter(l("gvfs_server_force_replies_total")),
+		invQueued:        reg.Counter(l("gvfs_server_invalidations_queued_total")),
+		callbacksSent:    reg.Counter(l("gvfs_server_callbacks_sent_total")),
+		forwards:         reg.Counter(l("gvfs_server_forwards_total")),
+		delegReadGrants:  reg.Counter(obs.Label(l("gvfs_server_deleg_grants_total"), "type", "read")),
+		delegWriteGrants: reg.Counter(obs.Label(l("gvfs_server_deleg_grants_total"), "type", "write")),
+		delegRecalls:     reg.Counter(l("gvfs_server_deleg_recalls_total")),
+		invOverflows:     reg.Counter(l("gvfs_server_invbuffer_overflows_total")),
+		getinvBatch:      reg.Histogram(l("gvfs_server_getinv_batch"), obs.CountBuckets),
+		invBufferOcc:     reg.Gauge(l("gvfs_server_invbuffer_entries")),
+		openFiles:        reg.Gauge(l("gvfs_server_open_files")),
+	}
+}

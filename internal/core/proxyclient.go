@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/nfs3"
+	"repro/internal/obs"
 	"repro/internal/sunrpc"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -33,15 +34,19 @@ type ProxyClient struct {
 	delegs       map[string]DelegType
 	noncacheable map[string]bool
 	lastForward  map[string]time.Duration
-	recallFence  map[string]uint64 // FH key -> seq of the latest recall served
-	lastRead     map[string]uint64 // FH key -> last block read (sequential detection)
+	recallFence  map[string]uint64             // FH key -> seq of the latest recall served
+	lastRead     map[string]uint64             // FH key -> last block read (sequential detection)
 	flushWait    map[string][]*vclock.Waiter   // FH key -> waiters for in-flight flushes
 	fetchWait    map[fetchKey][]*vclock.Waiter // block -> waiters for an in-flight prefetch
 	lastInvTS    uint64
 	pollWindow   time.Duration
 	stopped      bool
 
-	stats ProxyClientStats
+	// node records this proxy's trace spans; met holds its registry series.
+	// Counters are the single source of truth — ProxyClientStats is now a
+	// view assembled from them (see Stats).
+	node *obs.Node
+	met  *clientMetrics
 }
 
 // ProxyClientStats counts proxy-client activity for the evaluation harness.
@@ -101,6 +106,19 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 		fetchWait:    make(map[fetchKey][]*vclock.Waiter),
 		pollWindow:   cfg.PollPeriod,
 	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(clk.Now, 1024)
+	}
+	name := cfg.ObsName
+	if name == "" {
+		name = cred.ClientID
+	}
+	p.node = o.Node("proxyc:" + name)
+	p.met = newClientMetrics(o.Registry(), name)
+	// Upstream call spans (the wide-area round trips) are recorded at this
+	// proxy's node, nested under the kernel request via the shared ID.
+	upstream.SetObs(p.node, RPCName)
 	p.srv.Register(nfs3.Program, nfs3.Version, p.dispatchNFS)
 	p.srv.Register(nfs3.MountProgram, nfs3.MountVersion, p.dispatchMount)
 	p.srv.Register(CallbackProgram, CallbackVersion, p.dispatchCallback)
@@ -136,6 +154,7 @@ func (p *ProxyClient) reconnect(old *sunrpc.Client) bool {
 		return false
 	}
 	nu.SetCred(p.cred.Encode())
+	nu.SetObs(p.node, RPCName)
 	p.mu.Lock()
 	if p.up != old {
 		p.mu.Unlock()
@@ -151,16 +170,18 @@ func (p *ProxyClient) reconnect(old *sunrpc.Client) bool {
 	return true
 }
 
-// rawCall issues one upstream RPC with reconnect-and-retry on failure.
-func (p *ProxyClient) rawCall(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+// rawCall issues one upstream RPC with reconnect-and-retry on failure. rid
+// is the trace request ID propagated from the kernel call that caused this
+// RPC; 0 lets the upstream client mint one (background traffic).
+func (p *ProxyClient) rawCall(rid uint64, prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
 	for attempt := 0; ; attempt++ {
 		up := p.upstream()
-		d, err := up.CallTimeout(prog, vers, proc, args, p.cfg.CallTimeout)
+		d, err := up.CallTraced(rid, prog, vers, proc, args, p.cfg.CallTimeout)
 		if err == nil {
 			return d, nil
 		}
+		p.met.upstreamRetries.Inc()
 		p.mu.Lock()
-		p.stats.UpstreamRetries++
 		stopped := p.stopped
 		p.mu.Unlock()
 		if stopped || attempt >= 2 {
@@ -227,7 +248,7 @@ func (p *ProxyClient) RecoverAfterCrash() {
 		if len(blocks) == 0 {
 			continue
 		}
-		if err := p.flushBlock(fh, blocks[0]); err != nil {
+		if err := p.flushBlock(0, fh, blocks[0]); err != nil {
 			p.cache.dropDirty(fh)
 		}
 	}
@@ -243,7 +264,7 @@ func (p *ProxyClient) Stop() {
 	}
 	p.stopped = true
 	p.mu.Unlock()
-	p.flushAll()
+	p.flushAll(0)
 	p.srv.Close()
 	p.upstream().Close()
 }
@@ -259,11 +280,38 @@ func (p *ProxyClient) Crash() {
 	p.upstream().Close()
 }
 
-// Stats returns a snapshot of proxy activity counters.
+// Stats returns a snapshot of proxy activity counters. The counters live in
+// the obs registry; this remains as a typed view over them.
 func (p *ProxyClient) Stats() ProxyClientStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return ProxyClientStats{
+		LocalHits:          p.met.localHits.Value(),
+		Forwards:           p.met.forwards.Value(),
+		Invalidations:      p.met.invalidations.Value(),
+		ForceInvalidations: p.met.forceInvalidations.Value(),
+		Recalls:            p.met.recalls.Value(),
+		FlushedBlocks:      p.met.flushedBlocks.Value(),
+		UpstreamRetries:    p.met.upstreamRetries.Value(),
+		FlushErrors:        p.met.flushErrors.Value(),
+		ReadAheads:         p.met.readAheads.Value(),
+	}
+}
+
+// PublishMetrics folds point-in-time state (cache occupancy, wide-area RPC
+// totals) into the obs registry. Deployments call it before scraping a
+// snapshot; counters and histograms need no publishing, they update live.
+func (p *ProxyClient) PublishMetrics() {
+	s := p.cache.stats()
+	p.met.cacheAttrs.Set(int64(s.Attrs))
+	p.met.cacheLookups.Set(int64(s.Lookups))
+	p.met.cacheFiles.Set(int64(s.Files))
+	p.met.cacheBytes.Set(s.Bytes)
+	if reg := p.node.Registry(); reg != nil {
+		base := obs.Label("gvfs_client_wan_calls_total", "node", p.node.Name())
+		for k, v := range p.UpstreamCounts() {
+			c := reg.Counter(obs.Label(base, "op", RPCName(uint32(k>>32), uint32(k))))
+			c.Add(v - c.Value()) // publish the monotonic total, idempotently
+		}
+	}
 }
 
 // UpstreamCounts returns wide-area RPCs sent, keyed by prog<<32|proc,
@@ -295,8 +343,13 @@ func (p *ProxyClient) CacheStats() (attrs, lookups, files int, bytes int64) {
 // proxy server's GETINV within the configured window, optionally with
 // exponential back-off.
 func (p *ProxyClient) pollLoop() {
-	// Bootstrap immediately: the first GETINV carries a null timestamp and
-	// obtains the session's initial logical timestamp (Section 4.2.2).
+	// Offset the bootstrap poll slightly so it never shares a virtual
+	// instant with session setup traffic on the same link: concurrent
+	// same-instant sends race for bandwidth-serialization order, which
+	// would make traces diverge between runs of the same seed.
+	p.clk.Sleep(pollBootstrapDelay)
+	// Bootstrap: the first GETINV carries a null timestamp and obtains the
+	// session's initial logical timestamp (Section 4.2.2).
 	p.pollOnce()
 	for {
 		p.clk.Sleep(p.currentWindow())
@@ -336,9 +389,15 @@ func (p *ProxyClient) adjustWindow(gotInvalidations bool) {
 	}
 }
 
+// pollBootstrapDelay staggers the poll loop's first GETINV away from mount
+// traffic issued at the same virtual instant.
+const pollBootstrapDelay = 1300 * time.Microsecond
+
 // pollOnce issues GETINV calls until the buffer is drained, applying the
-// client-side algorithm of Section 4.2.1.
+// client-side algorithm of Section 4.2.1. All GETINVs of one poll round
+// share a request ID minted at this proxy.
 func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
+	rid := p.node.Mint()
 	for {
 		p.mu.Lock()
 		ts := p.lastInvTS
@@ -347,7 +406,7 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 		args := GetInvArgs{Timestamp: ts, MaxHandles: uint32(p.cfg.MaxHandlesPerReply)}
 		e := xdr.NewEncoder()
 		args.Encode(e)
-		d, callErr := p.rawCall(InvProgram, InvVersion, ProcGetInv, e.Bytes())
+		d, callErr := p.rawCall(rid, InvProgram, InvVersion, ProcGetInv, e.Bytes())
 		if callErr != nil {
 			return gotAny, callErr
 		}
@@ -361,13 +420,12 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 		p.lastInvTS = res.Timestamp
 		p.mu.Unlock()
 
+		p.met.getinvBatch.Observe(int64(len(res.Handles)))
 		switch {
 		case res.ForceInvalidate:
 			// 2) Invalidate the entire attributes cache.
 			p.cache.invalidateAllAttrs()
-			p.mu.Lock()
-			p.stats.ForceInvalidations++
-			p.mu.Unlock()
+			p.met.forceInvalidations.Inc()
 			gotAny = true
 		default:
 			// 3) Invalidate the concerned files.
@@ -376,9 +434,7 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 			}
 			if len(res.Handles) > 0 {
 				gotAny = true
-				p.mu.Lock()
-				p.stats.Invalidations += int64(len(res.Handles))
-				p.mu.Unlock()
+				p.met.invalidations.Add(int64(len(res.Handles)))
 			}
 		}
 		// 4) Poll again immediately if the buffer did not fit.
@@ -398,18 +454,18 @@ func (p *ProxyClient) flushLoop() {
 		if stopped {
 			return
 		}
-		p.flushAll()
+		p.flushAll(0)
 	}
 }
 
-func (p *ProxyClient) flushAll() {
+func (p *ProxyClient) flushAll(rid uint64) {
 	var items []flushItem
 	for _, fh := range p.cache.dirtyFiles() {
 		for _, bn := range p.cache.dirtyBlocks(fh) {
 			items = append(items, flushItem{fh: fh, bn: bn})
 		}
 	}
-	p.flushParallel(items)
+	p.flushParallel(rid, items)
 }
 
 // flushFile writes back every dirty block of fh, then waits until no flush
@@ -417,7 +473,7 @@ func (p *ProxyClient) flushAll() {
 // (SETATTR truncation, COMMIT, recalls) may order upstream operations after
 // the write-back. When skip is set, skipBn was already flushed by the
 // caller.
-func (p *ProxyClient) flushFile(fh nfs3.FH, skipBn uint64, skip bool) {
+func (p *ProxyClient) flushFile(rid uint64, fh nfs3.FH, skipBn uint64, skip bool) {
 	var items []flushItem
 	for _, bn := range p.cache.dirtyBlocks(fh) {
 		if skip && bn == skipBn {
@@ -425,7 +481,7 @@ func (p *ProxyClient) flushFile(fh nfs3.FH, skipBn uint64, skip bool) {
 		}
 		items = append(items, flushItem{fh: fh, bn: bn})
 	}
-	p.flushParallel(items)
+	p.flushParallel(rid, items)
 	p.waitFlushIdle(fh)
 }
 
@@ -441,14 +497,14 @@ type flushItem struct {
 // skipped (takeDirty refuses them), so concurrent flushers never
 // double-issue a WRITE; the per-block dirty-generation protocol keeps
 // re-dirtied blocks dirty regardless of completion order.
-func (p *ProxyClient) flushParallel(items []flushItem) {
+func (p *ProxyClient) flushParallel(rid uint64, items []flushItem) {
 	w := p.cfg.FlushParallelism
 	if w > len(items) {
 		w = len(items)
 	}
 	if w <= 1 {
 		for _, it := range items {
-			p.flushBlock(it.fh, it.bn)
+			p.flushBlock(rid, it.fh, it.bn)
 		}
 		return
 	}
@@ -466,7 +522,7 @@ func (p *ProxyClient) flushParallel(items []flushItem) {
 				it := items[next]
 				next++
 				mu.Unlock()
-				p.flushBlock(it.fh, it.bn)
+				p.flushBlock(rid, it.fh, it.bn)
 			}
 		})
 	}
@@ -504,19 +560,23 @@ func (p *ProxyClient) waitFlushIdle(fh nfs3.FH) {
 	}
 }
 
-// flushBlock writes one dirty block upstream.
-func (p *ProxyClient) flushBlock(fh nfs3.FH, bn uint64) error {
+// flushBlock writes one dirty block upstream. The flush-pipeline depth gauge
+// tracks WRITEs between takeDirty and completion, so a scrape mid-flush
+// shows how deep the write-back pipeline runs.
+func (p *ProxyClient) flushBlock(rid uint64, fh nfs3.FH, bn uint64) error {
 	data, off, gen, ok := p.cache.takeDirty(fh, bn)
 	if !ok {
 		return nil
 	}
+	p.met.flushInflight.Add(1)
+	defer p.met.flushInflight.Add(-1)
 	defer p.flushDone(fh, bn)
 	if p.cfg.DiskDelay > 0 {
 		p.clk.Sleep(p.cfg.DiskDelay) // read the dirty block back from disk
 	}
 	args := nfs3.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
 	var res nfs3.WriteRes
-	if _, err := p.callUpstream(nfs3.ProcWrite, &args, &res); err != nil {
+	if _, err := p.callUpstream(rid, nfs3.ProcWrite, &args, &res); err != nil {
 		return err
 	}
 	if res.Status != nfs3.OK {
@@ -524,15 +584,11 @@ func (p *ProxyClient) flushBlock(fh nfs3.FH, bn uint64) error {
 		// behind our back): keeping the block dirty would retry forever.
 		// Drop it, as the paper drops "corrupted" dirty data (Section 4.3.4).
 		p.cache.dropDirty(fh)
-		p.mu.Lock()
-		p.stats.FlushErrors++
-		p.mu.Unlock()
+		p.met.flushErrors.Inc()
 		return &nfs3.Error{Status: res.Status, Proc: nfs3.ProcWrite}
 	}
 	p.cache.flushed(fh, bn, gen, res.Wcc.After)
-	p.mu.Lock()
-	p.stats.FlushedBlocks++
-	p.mu.Unlock()
+	p.met.flushedBlocks.Inc()
 	return nil
 }
 
@@ -544,12 +600,14 @@ type wireDec interface{ Decode(*xdr.Decoder) error }
 // callUpstream forwards one NFS call across the wide area and extracts the
 // GVFS trailers the proxy server piggybacks on the reply (absent when the
 // upstream is a plain NFS server).
-func (p *ProxyClient) callUpstream(proc uint32, args wireEnc, res wireDec) (Trailers, error) {
+func (p *ProxyClient) callUpstream(rid uint64, proc uint32, args wireEnc, res wireDec) (Trailers, error) {
 	e := xdr.NewEncoder()
 	if args != nil {
 		args.Encode(e)
 	}
-	d, err := p.rawCall(nfs3.Program, nfs3.Version, proc, e.Bytes())
+	start := p.node.Now()
+	d, err := p.rawCall(rid, nfs3.Program, nfs3.Version, proc, e.Bytes())
+	p.met.forwardLatency.ObserveDuration(p.node.Now() - start)
 	if err != nil {
 		return nil, err
 	}
@@ -632,6 +690,7 @@ func (p *ProxyClient) servable(fh nfs3.FH) bool {
 		// Renewal: let a request bypass the cache periodically so the
 		// server sees the file as still open (Section 4.3.1).
 		if p.clk.Now()-p.lastForward[key] >= p.cfg.DelegRenew {
+			p.met.renewBypass.Inc()
 			return false
 		}
 		return true
@@ -648,23 +707,29 @@ func (p *ProxyClient) hasWriteDeleg(fh nfs3.FH) bool {
 	return p.delegs[fh.Key()] == DelegWrite && !p.noncacheable[fh.Key()]
 }
 
-func (p *ProxyClient) hitLocal() {
-	p.mu.Lock()
-	p.stats.LocalHits++
-	p.mu.Unlock()
+// hitLocal counts a kernel RPC answered from the disk cache and annotates
+// the serve span. A detail set earlier (e.g. "join" for a read that waited
+// on an in-flight readahead) is kept.
+func (p *ProxyClient) hitLocal(call *sunrpc.Call) {
+	p.met.localHits.Inc()
+	if call != nil && call.SpanDetail == "" {
+		call.SpanDetail = "hit"
+	}
 }
 
-func (p *ProxyClient) hitForward() {
-	p.mu.Lock()
-	p.stats.Forwards++
-	p.mu.Unlock()
+// hitForward counts a kernel RPC that crossed the wide area.
+func (p *ProxyClient) hitForward(call *sunrpc.Call) {
+	p.met.forwards.Inc()
+	if call != nil && call.SpanDetail == "" {
+		call.SpanDetail = "forward"
+	}
 }
 
 // --- kernel-facing NFS dispatch --------------------------------------------
 
 func (p *ProxyClient) dispatchMount(call *sunrpc.Call) sunrpc.AcceptStat {
 	// Forward MOUNT verbatim: the root handle comes from the real server.
-	raw, err := p.rawCall(nfs3.MountProgram, nfs3.MountVersion, call.Proc, remainingBytes(call.Args))
+	raw, err := p.rawCall(call.ReqID, nfs3.MountProgram, nfs3.MountVersion, call.Proc, remainingBytes(call.Args))
 	if err != nil {
 		return sunrpc.SystemErr
 	}
@@ -678,7 +743,31 @@ func remainingBytes(d *xdr.Decoder) []byte {
 	return b
 }
 
+// dispatchNFS wraps serveNFS with a trace span: the proxy's view of each
+// kernel RPC, carrying the handler's FH/detail/bytes annotations. The proxy's
+// own sunrpc.Server records no generic spans (SetObs is not installed on it),
+// so this is the single serve-side record per kernel call at this node.
 func (p *ProxyClient) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
+	start := p.node.Now()
+	stat := p.serveNFS(call)
+	sp := obs.Span{
+		Req:    call.ReqID,
+		Op:     RPCName(nfs3.Program, call.Proc),
+		FH:     call.SpanFH,
+		Model:  shortModel(p.cfg.Model),
+		Detail: call.SpanDetail,
+		Bytes:  call.SpanBytes,
+		Start:  start,
+		End:    p.node.Now(),
+	}
+	if stat != sunrpc.Success {
+		sp.Err = stat.String()
+	}
+	p.node.Record(sp)
+	return stat
+}
+
+func (p *ProxyClient) serveNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 	if p.cfg.ProxyDelay > 0 {
 		p.clk.Sleep(p.cfg.ProxyDelay)
 	}
@@ -730,17 +819,18 @@ func (p *ProxyClient) getattr(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.FH.String()
 	if p.servable(args.FH) {
 		if a, ok := p.cache.getAttr(args.FH); ok {
-			p.hitLocal()
+			p.hitLocal(call)
 			return encodeReply(call, &nfs3.GetattrRes{Status: nfs3.OK, Attr: a})
 		}
 	}
 	var res nfs3.GetattrRes
-	if _, err := p.callUpstream(nfs3.ProcGetattr, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcGetattr, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.GetattrRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.FH)
 	switch res.Status {
 	case nfs3.OK:
@@ -756,13 +846,14 @@ func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.Dir.String()
 	if p.servable(args.Dir) {
 		if childFH, negative, ok := p.cache.getLookup(args.Dir, args.Name); ok {
 			dirAttr, dirOK := p.cache.getAttr(args.Dir)
 			if negative && dirOK {
 				// A cached NOENT: the per-file checks the kernel keeps
 				// issuing for absent names are filtered out locally.
-				p.hitLocal()
+				p.hitLocal(call)
 				return encodeReply(call, &nfs3.LookupRes{
 					Status:  nfs3.ErrNoEnt,
 					DirAttr: nfs3.PostOpAttr{Present: true, Attr: dirAttr},
@@ -773,7 +864,7 @@ func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
 				// the binding's continued existence) are only trustworthy
 				// while a delegation on the child is held.
 				if childAttr, ok2 := p.cache.getAttr(childFH); ok2 {
-					p.hitLocal()
+					p.hitLocal(call)
 					return encodeReply(call, &nfs3.LookupRes{
 						Status:  nfs3.OK,
 						FH:      childFH,
@@ -785,10 +876,10 @@ func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
 		}
 	}
 	var res nfs3.LookupRes
-	if _, err := p.callUpstream(nfs3.ProcLookup, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcLookup, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.LookupRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.Dir)
 	if res.DirAttr.Present {
 		p.cache.putAttr(args.Dir, res.DirAttr.Attr)
@@ -812,6 +903,7 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.FH.String()
 	bs := uint64(p.cfg.BlockSize)
 	bn := args.Offset / bs
 	aligned := args.Offset%bs == 0 && uint64(args.Count) <= bs
@@ -821,16 +913,23 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 	if aligned {
 		// A readahead for this block may already be in flight: wait for it
 		// rather than double-issuing the wide-area READ.
-		p.waitFetch(args.FH, bn)
+		joined := p.waitFetch(args.FH, bn)
 		if block, ok := p.cache.getBlock(args.FH, bn); ok {
 			if attr, attrOK := p.cache.getAttr(args.FH); attrOK && (p.servable(args.FH) || p.cache.hasDirty(args.FH)) {
 				if res := localReadRes(attr, block, args.Offset, args.Count, bs); res != nil {
-					p.hitLocal()
+					if joined {
+						// The demand read rode an in-flight readahead
+						// instead of paying its own round-trip.
+						p.met.readaheadJoins.Inc()
+						call.SpanDetail = "join"
+					}
+					p.hitLocal(call)
+					call.SpanBytes = int64(res.Count)
 					if p.cfg.DiskDelay > 0 {
 						p.clk.Sleep(p.cfg.DiskDelay) // read the block from the disk cache
 					}
 					if seq {
-						p.startReadAhead(args.FH, bn)
+						p.startReadAhead(call.ReqID, args.FH, bn)
 					}
 					return encodeReply(call, res)
 				}
@@ -841,13 +940,14 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 	if aligned && seq {
 		// Kick the pipeline before the demand READ so the next blocks cross
 		// the wide area concurrently with this one.
-		p.startReadAhead(args.FH, bn)
+		p.startReadAhead(call.ReqID, args.FH, bn)
 	}
 	var res nfs3.ReadRes
-	if _, err := p.callUpstream(nfs3.ProcRead, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcRead, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.ReadRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
+	call.SpanBytes = int64(res.Count)
 	p.noteForward(args.FH)
 	if res.Status == nfs3.OK && res.Attr.Present {
 		if aligned && (uint64(res.Count) == bs || res.EOF) {
@@ -911,7 +1011,7 @@ func (p *ProxyClient) noteRead(fh nfs3.FH, bn uint64) bool {
 // in its own actor so the wide-area READs are pipelined instead of paying
 // one round-trip per block. Blocks already cached, dirty, or being fetched
 // are skipped via the cache's in-flight accounting.
-func (p *ProxyClient) startReadAhead(fh nfs3.FH, bn uint64) {
+func (p *ProxyClient) startReadAhead(parent uint64, fh nfs3.FH, bn uint64) {
 	ra := p.cfg.ReadAhead
 	if ra <= 0 || p.isNoncacheable(fh) {
 		return
@@ -935,27 +1035,47 @@ func (p *ProxyClient) startReadAhead(fh nfs3.FH, bn uint64) {
 		if !p.cache.tryBeginFetch(fh, nb) {
 			continue
 		}
-		p.clk.Go("gvfs-readahead", func() { p.prefetchBlock(fh, nb) })
+		// Each prefetch is its own traced request, parented on the demand
+		// read that triggered it. Minted here, in the sequential spawn loop,
+		// so the ID order is deterministic regardless of actor scheduling.
+		rid := p.node.Mint()
+		p.clk.Go("gvfs-readahead", func() { p.prefetchBlock(parent, rid, fh, nb) })
 	}
 }
 
 // prefetchBlock fetches one block across the wide area into the session
 // cache. The in-flight mark is cleared and waiting demand reads are woken
 // whether or not the fetch succeeded — on failure they simply forward.
-func (p *ProxyClient) prefetchBlock(fh nfs3.FH, bn uint64) {
+func (p *ProxyClient) prefetchBlock(parent, rid uint64, fh nfs3.FH, bn uint64) {
 	defer p.fetchDone(fh, bn)
+	start := p.node.Now()
 	bs := uint64(p.cfg.BlockSize)
 	args := nfs3.ReadArgs{FH: fh, Offset: bn * bs, Count: uint32(bs)}
 	var res nfs3.ReadRes
-	if _, err := p.callUpstream(nfs3.ProcRead, &args, &res); err != nil {
+	sp := obs.Span{
+		Req:    rid,
+		Parent: parent,
+		Op:     "READAHEAD",
+		FH:     fh.String(),
+		Model:  shortModel(p.cfg.Model),
+		Start:  start,
+	}
+	if _, err := p.callUpstream(rid, nfs3.ProcRead, &args, &res); err != nil {
+		sp.End = p.node.Now()
+		sp.Err = err.Error()
+		p.node.Record(sp)
 		return
 	}
 	if res.Status == nfs3.OK && res.Attr.Present && (uint64(res.Count) == bs || res.EOF) {
 		p.cache.putCleanBlock(fh, bn, res.Data, res.Attr.Attr)
-		p.mu.Lock()
-		p.stats.ReadAheads++
-		p.mu.Unlock()
+		p.met.readAheads.Inc()
 	}
+	sp.End = p.node.Now()
+	sp.Bytes = int64(res.Count)
+	if res.Status != nfs3.OK {
+		sp.Err = res.Status.String()
+	}
+	p.node.Record(sp)
 }
 
 // fetchDone clears a block's in-flight prefetch mark and wakes demand reads
@@ -973,18 +1093,20 @@ func (p *ProxyClient) fetchDone(fh nfs3.FH, bn uint64) {
 }
 
 // waitFetch blocks (through the clock) until no prefetch of (fh, bn) is in
-// flight.
-func (p *ProxyClient) waitFetch(fh nfs3.FH, bn uint64) {
+// flight, and reports whether it actually waited — a demand read that did is
+// a readahead join.
+func (p *ProxyClient) waitFetch(fh nfs3.FH, bn uint64) (joined bool) {
 	k := fetchKey{fh: fh.Key(), bn: bn}
 	for {
 		w := p.clk.NewWaiter()
 		p.mu.Lock()
 		if !p.cache.fetchInFlight(fh, bn) {
 			p.mu.Unlock()
-			return
+			return joined
 		}
 		p.fetchWait[k] = append(p.fetchWait[k], w)
 		p.mu.Unlock()
+		joined = true
 		p.clk.WaitAs(w, "readahead fetch")
 	}
 }
@@ -994,6 +1116,8 @@ func (p *ProxyClient) write(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.FH.String()
+	call.SpanBytes = int64(len(args.Data))
 	writeLocal := p.cfg.WriteBack || (p.cfg.Model == ModelDelegation && p.hasWriteDeleg(args.FH))
 	attr, attrOK := p.cache.getAttr(args.FH)
 
@@ -1015,11 +1139,11 @@ func (p *ProxyClient) write(call *sunrpc.Call) sunrpc.AcceptStat {
 			}
 			var rres nfs3.ReadRes
 			rargs := nfs3.ReadArgs{FH: args.FH, Offset: blockStart, Count: uint32(bs)}
-			if _, err := p.callUpstream(nfs3.ProcRead, &rargs, &rres); err != nil || rres.Status != nfs3.OK {
+			if _, err := p.callUpstream(call.ReqID, nfs3.ProcRead, &rargs, &rres); err != nil || rres.Status != nfs3.OK {
 				writeLocal = false
 				break
 			}
-			p.hitForward()
+			p.hitForward(call)
 			if rres.Attr.Present {
 				p.cache.putCleanBlock(args.FH, bn, rres.Data, rres.Attr.Attr)
 			}
@@ -1030,7 +1154,7 @@ func (p *ProxyClient) write(call *sunrpc.Call) sunrpc.AcceptStat {
 			}
 			p.cache.writeDirty(args.FH, args.Offset, args.Data)
 			newAttr, _ := p.cache.getAttr(args.FH)
-			p.hitLocal()
+			p.hitLocal(call)
 			return encodeReply(call, &nfs3.WriteRes{
 				Status:    nfs3.OK,
 				Wcc:       nfs3.WccData{After: nfs3.PostOpAttr{Present: true, Attr: newAttr}},
@@ -1042,10 +1166,10 @@ func (p *ProxyClient) write(call *sunrpc.Call) sunrpc.AcceptStat {
 	}
 
 	var res nfs3.WriteRes
-	if _, err := p.callUpstream(nfs3.ProcWrite, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcWrite, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.WriteRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.FH)
 	if res.Status == nfs3.OK && res.Wcc.After.Present {
 		// Reconcile first (recognizing our own mtime advance via the wcc
@@ -1071,16 +1195,17 @@ func (p *ProxyClient) setattr(call *sunrpc.Call) sunrpc.AcceptStat {
 		return sunrpc.GarbageArgs
 	}
 	p.mapIdentity(&args.Attr)
+	call.SpanFH = args.FH.String()
 	// Truncation invalidates buffered writes beyond the new size; flush
 	// first for simplicity and correctness.
 	if p.cache.hasDirty(args.FH) {
-		p.flushFile(args.FH, 0, false)
+		p.flushFile(call.ReqID, args.FH, 0, false)
 	}
 	var res nfs3.WccRes
-	if _, err := p.callUpstream(nfs3.ProcSetattr, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcSetattr, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.WccRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.FH)
 	if res.Status == nfs3.OK && res.Wcc.After.Present {
 		p.cache.putAttr(args.FH, res.Wcc.After.Attr)
@@ -1094,11 +1219,12 @@ func (p *ProxyClient) create(call *sunrpc.Call) sunrpc.AcceptStat {
 		return sunrpc.GarbageArgs
 	}
 	p.mapIdentity(&args.Attr)
+	call.SpanFH = args.Where.Dir.String()
 	var res nfs3.CreateRes
-	if _, err := p.callUpstream(nfs3.ProcCreate, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcCreate, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.CreateRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	if res.Status == nfs3.OK && res.FHFollows && args.Mode == nfs3.CreateUnchecked {
 		// An unchecked create truncates an existing file: any dirty data
 		// buffered for the old contents is gone by definition.
@@ -1114,11 +1240,12 @@ func (p *ProxyClient) mkdir(call *sunrpc.Call) sunrpc.AcceptStat {
 		return sunrpc.GarbageArgs
 	}
 	p.mapIdentity(&args.Attr)
+	call.SpanFH = args.Where.Dir.String()
 	var res nfs3.CreateRes
-	if _, err := p.callUpstream(nfs3.ProcMkdir, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcMkdir, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.CreateRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.afterCreateLike(args.Where, &res)
 	return encodeReply(call, &res)
 }
@@ -1129,11 +1256,12 @@ func (p *ProxyClient) symlink(call *sunrpc.Call) sunrpc.AcceptStat {
 		return sunrpc.GarbageArgs
 	}
 	p.mapIdentity(&args.Attr)
+	call.SpanFH = args.Where.Dir.String()
 	var res nfs3.CreateRes
-	if _, err := p.callUpstream(nfs3.ProcSymlink, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcSymlink, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.CreateRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.afterCreateLike(args.Where, &res)
 	return encodeReply(call, &res)
 }
@@ -1156,15 +1284,16 @@ func (p *ProxyClient) unlink(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.Dir.String()
 	// Abandon buffered dirty data for the victim: it is being deleted.
 	if childFH, negative, ok := p.cache.getLookup(args.Dir, args.Name); ok && !negative {
 		p.cache.dropDirty(childFH)
 	}
 	var res nfs3.WccRes
-	if _, err := p.callUpstream(call.Proc, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, call.Proc, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.WccRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.Dir)
 	p.cache.dropLookup(args.Dir, args.Name)
 	if res.Wcc.After.Present {
@@ -1182,11 +1311,12 @@ func (p *ProxyClient) rename(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.From.Dir.String()
 	var res nfs3.RenameRes
-	if _, err := p.callUpstream(nfs3.ProcRename, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcRename, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.RenameRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.From.Dir)
 	p.noteForward(args.To.Dir)
 	p.cache.dropLookup(args.From.Dir, args.From.Name)
@@ -1205,11 +1335,12 @@ func (p *ProxyClient) linkProc(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.FH.String()
 	var res nfs3.LinkRes
-	if _, err := p.callUpstream(nfs3.ProcLink, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcLink, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.LinkRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.FH)
 	p.noteForward(args.Link.Dir)
 	if res.Attr.Present {
@@ -1229,12 +1360,13 @@ func (p *ProxyClient) readdir(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.Dir.String()
 	// Serve complete cached listings that fit one reply; pagination always
 	// forwards, since upstream cookies are opaque to us.
 	if args.Cookie == 0 && p.servable(args.Dir) {
 		if entries, ok := p.cache.getDirListing(args.Dir); ok {
 			if dirAttr, ok2 := p.cache.getAttr(args.Dir); ok2 && listingFits(entries, args.Count) {
-				p.hitLocal()
+				p.hitLocal(call)
 				return encodeReply(call, &nfs3.ReaddirRes{
 					Status:     nfs3.OK,
 					DirAttr:    nfs3.PostOpAttr{Present: true, Attr: dirAttr},
@@ -1246,10 +1378,10 @@ func (p *ProxyClient) readdir(call *sunrpc.Call) sunrpc.AcceptStat {
 		}
 	}
 	var res nfs3.ReaddirRes
-	if _, err := p.callUpstream(nfs3.ProcReaddir, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcReaddir, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.ReaddirRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.Dir)
 	if res.DirAttr.Present {
 		p.cache.putAttr(args.Dir, res.DirAttr.Attr)
@@ -1277,11 +1409,12 @@ func (p *ProxyClient) readdirplus(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.Dir.String()
 	var res nfs3.ReaddirplusRes
-	if _, err := p.callUpstream(nfs3.ProcReaddirplus, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcReaddirplus, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.ReaddirplusRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	p.noteForward(args.Dir)
 	if res.DirAttr.Present {
 		p.cache.putAttr(args.Dir, res.DirAttr.Attr)
@@ -1302,24 +1435,25 @@ func (p *ProxyClient) commit(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.FH.String()
 	if p.cache.hasDirty(args.FH) {
-		p.flushFile(args.FH, 0, false)
+		p.flushFile(call.ReqID, args.FH, 0, false)
 	}
 	var res nfs3.CommitRes
-	if _, err := p.callUpstream(nfs3.ProcCommit, &args, &res); err != nil {
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcCommit, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.CommitRes{Status: nfs3.ErrJukebox})
 	}
-	p.hitForward()
+	p.hitForward(call)
 	return encodeReply(call, &res)
 }
 
 // passthrough forwards a call without caching semantics.
 func (p *ProxyClient) passthrough(call *sunrpc.Call) sunrpc.AcceptStat {
-	raw, err := p.rawCall(nfs3.Program, nfs3.Version, call.Proc, remainingBytes(call.Args))
+	raw, err := p.rawCall(call.ReqID, nfs3.Program, nfs3.Version, call.Proc, remainingBytes(call.Args))
 	if err != nil {
 		return sunrpc.SystemErr
 	}
-	p.hitForward()
+	p.hitForward(call)
 	call.Reply.FixedOpaque(remainingBytes(raw))
 	return sunrpc.Success
 }
@@ -1327,14 +1461,30 @@ func (p *ProxyClient) passthrough(call *sunrpc.Call) sunrpc.AcceptStat {
 // --- callback service (proxy server -> proxy client) ------------------------
 
 func (p *ProxyClient) dispatchCallback(call *sunrpc.Call) sunrpc.AcceptStat {
+	start := p.node.Now()
+	var stat sunrpc.AcceptStat
 	switch call.Proc {
 	case ProcRecall:
-		return p.handleRecall(call)
+		stat = p.handleRecall(call)
 	case ProcRecallAll:
-		return p.handleRecallAll(call)
+		stat = p.handleRecallAll(call)
 	default:
 		return sunrpc.ProcUnavail
 	}
+	sp := obs.Span{
+		Req:    call.ReqID,
+		Op:     RPCName(CallbackProgram, call.Proc),
+		FH:     call.SpanFH,
+		Model:  shortModel(p.cfg.Model),
+		Detail: call.SpanDetail,
+		Start:  start,
+		End:    p.node.Now(),
+	}
+	if stat != sunrpc.Success {
+		sp.Err = stat.String()
+	}
+	p.node.Record(sp)
+	return stat
 }
 
 // handleRecall serves a delegation recall (Section 4.3.2). Read recalls
@@ -1345,8 +1495,9 @@ func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
+	call.SpanFH = args.FH.String()
+	p.met.recalls.Inc()
 	p.mu.Lock()
-	p.stats.Recalls++
 	delete(p.delegs, args.FH.Key())
 	if args.Seq > p.recallFence[args.FH.Key()] {
 		p.recallFence[args.FH.Key()] = args.Seq
@@ -1369,9 +1520,9 @@ func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
 			// highest dirty block is also submitted inline so the server's
 			// file size reflects the buffered writes — other clients stat
 			// the file before reading it.
-			p.flushBlock(args.FH, dirty[len(dirty)-1])
+			p.flushBlock(call.ReqID, args.FH, dirty[len(dirty)-1])
 			if args.HasOffset {
-				p.flushBlock(args.FH, args.Offset/bs)
+				p.flushBlock(call.ReqID, args.FH, args.Offset/bs)
 			}
 			// A concurrent flusher (periodic flush, another recall) may still
 			// have WRITEs in flight for the blocks above — takeDirty refuses
@@ -1383,11 +1534,12 @@ func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
 				res.Pending = append(res.Pending, bn*bs)
 			}
 			fh := args.FH
-			p.clk.Go("gvfs-recall-flush", func() { p.flushFile(fh, 0, false) })
+			rid := call.ReqID
+			p.clk.Go("gvfs-recall-flush", func() { p.flushFile(rid, fh, 0, false) })
 		} else {
 			// Small dirty set: write everything back before replying, with
 			// the WRITEs pipelined up to FlushParallelism deep.
-			p.flushFile(args.FH, 0, false)
+			p.flushFile(call.ReqID, args.FH, 0, false)
 		}
 	}
 	return encodeReply(call, &res)
@@ -1398,8 +1550,8 @@ func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
 // report which files hold locally modified data.
 func (p *ProxyClient) handleRecallAll(call *sunrpc.Call) sunrpc.AcceptStat {
 	p.cache.invalidateAllAttrs()
+	p.met.recalls.Inc()
 	p.mu.Lock()
-	p.stats.Recalls++
 	dirty := p.cache.dirtyFiles()
 	// Delegations are void (the server lost its state); write delegations
 	// on dirty files are re-established by the server's rebuild.

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/nfs3"
+	"repro/internal/obs"
 	"repro/internal/sunrpc"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -84,9 +86,14 @@ type ProxyServer struct {
 	grantSeq uint64
 	graceW   []*vclock.Waiter
 	store    StateStore
-	stats    ProxyServerStats
 	stopped  bool
 	lruClock uint64
+
+	// node records this proxy's trace spans; met holds its registry series.
+	// Counters are the single source of truth — ProxyServerStats is a view
+	// assembled from them (see Stats).
+	node *obs.Node
+	met  *serverMetrics
 }
 
 type clientState struct {
@@ -133,6 +140,21 @@ func NewProxyServer(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, dial
 		files:   make(map[string]*fileState),
 		store:   store,
 	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(clk.Now, 1024)
+	}
+	name := cfg.ObsName
+	if name == "" {
+		name = "server"
+	}
+	s.node = o.Node("proxyd:" + name)
+	s.met = newServerMetrics(o.Registry(), name)
+	// Generic serve spans for every program the proxy server hosts; handlers
+	// enrich them through the call's Span* annotations. Upstream (loopback)
+	// forwards and callback recalls record their own call spans at this node.
+	s.srv.SetObs(s.node, RPCName)
+	s.up.SetObs(s.node, RPCName)
 	s.srv.Register(nfs3.Program, nfs3.Version, s.dispatchNFS)
 	s.srv.Register(nfs3.MountProgram, nfs3.MountVersion, s.forwardRaw(nfs3.MountProgram, nfs3.MountVersion))
 	s.srv.Register(InvProgram, InvVersion, s.dispatchInv)
@@ -182,11 +204,30 @@ func (s *ProxyServer) Stop() {
 	s.up.Close()
 }
 
-// Stats returns a snapshot of server counters.
+// Stats returns a snapshot of server counters. The counters live in the obs
+// registry; this remains as a typed view over them.
 func (s *ProxyServer) Stats() ProxyServerStats {
+	return ProxyServerStats{
+		GetInvServed:        s.met.getInvServed.Value(),
+		ForceReplies:        s.met.forceReplies.Value(),
+		InvalidationsQueued: s.met.invQueued.Value(),
+		CallbacksSent:       s.met.callbacksSent.Value(),
+		Forwards:            s.met.forwards.Value(),
+	}
+}
+
+// PublishMetrics folds point-in-time state (delegation table size,
+// invalidation-buffer occupancy) into the obs registry gauges. Deployments
+// call it before scraping a snapshot.
+func (s *ProxyServer) PublishMetrics() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	buffered := 0
+	for _, c := range s.clients {
+		buffered += len(c.buf.order)
+	}
+	s.met.invBufferOcc.Set(int64(buffered))
+	s.met.openFiles.Set(int64(len(s.files)))
 }
 
 // StateSize reports the delegation table's size (files, sharer entries).
@@ -210,9 +251,13 @@ func (s *ProxyServer) recover() {
 		clients = append(clients, c)
 	}
 	s.mu.Unlock()
+	// Stable callback order: the rebuild round is traced, and map iteration
+	// order would make runs of the same seed diverge.
+	sort.Slice(clients, func(i, j int) bool { return clients[i].rec.ID < clients[j].rec.ID })
 
+	rid := s.node.Mint()
 	for _, c := range clients {
-		res, err := s.callbackRecallAll(c)
+		res, err := s.callbackRecallAll(rid, c)
 		if err != nil {
 			// Client unreachable: drop it from the session.
 			s.mu.Lock()
@@ -275,8 +320,17 @@ func (s *ProxyServer) expiryLoop() {
 			seq uint64
 		}
 		var recalls []recall
-		for key, fs := range s.files {
-			for id, sh := range fs.sharers {
+		// Walk files and sharers in sorted order so expiry recalls are
+		// issued (and traced) identically across runs of the same seed.
+		fileKeys := make([]string, 0, len(s.files))
+		for key := range s.files {
+			fileKeys = append(fileKeys, key)
+		}
+		sort.Strings(fileKeys)
+		for _, key := range fileKeys {
+			fs := s.files[key]
+			for _, id := range sortedSharerIDs(fs) {
+				sh := fs.sharers[id]
 				if now-sh.lastAccess > s.cfg.DelegExpiry {
 					if sh.deleg != DelegNone {
 						if c := s.clients[id]; c != nil {
@@ -302,7 +356,8 @@ func (s *ProxyServer) expiryLoop() {
 				}
 			}
 			fs := s.files[oldestKey]
-			for id, sh := range fs.sharers {
+			for _, id := range sortedSharerIDs(fs) {
+				sh := fs.sharers[id]
 				if sh.deleg != DelegNone {
 					if c := s.clients[id]; c != nil {
 						s.grantSeq++
@@ -313,10 +368,25 @@ func (s *ProxyServer) expiryLoop() {
 			delete(s.files, oldestKey)
 		}
 		s.mu.Unlock()
+		if len(recalls) == 0 {
+			continue
+		}
+		rid := s.node.Mint()
 		for _, r := range recalls {
-			s.callbackRecall(r.c, RecallArgs{FH: r.fh, Deleg: r.t, Seq: r.seq})
+			s.callbackRecall(rid, r.c, RecallArgs{FH: r.fh, Deleg: r.t, Seq: r.seq})
 		}
 	}
+}
+
+// sortedSharerIDs lists a file's sharer IDs in stable order; recall fan-out
+// loops use it so traced callback order is deterministic.
+func sortedSharerIDs(fs *fileState) []string {
+	ids := make([]string, 0, len(fs.sharers))
+	for id := range fs.sharers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // --- client registry ------------------------------------------------------
@@ -368,6 +438,7 @@ func (s *ProxyServer) callbackClient(c *clientState) (*sunrpc.Client, error) {
 		return nil, err
 	}
 	cb := sunrpc.NewClient(s.clk, conn, sunrpc.NoneCred())
+	cb.SetObs(s.node, RPCName)
 	s.mu.Lock()
 	if c.cb == nil {
 		c.cb = cb
@@ -381,18 +452,19 @@ func (s *ProxyServer) callbackClient(c *clientState) (*sunrpc.Client, error) {
 
 // callbackRecall issues one recall RPC; failures drop the client's
 // delegation state (the client is presumed dead — its soft state is safe to
-// discard, and NFS retries recover the rest).
-func (s *ProxyServer) callbackRecall(c *clientState, args RecallArgs) *RecallRes {
-	s.mu.Lock()
-	s.stats.CallbacksSent++
-	s.mu.Unlock()
+// discard, and NFS retries recover the rest). rid is the trace request ID of
+// the conflicting request that forced the recall, so the whole causal chain
+// shares one ID in the trace.
+func (s *ProxyServer) callbackRecall(rid uint64, c *clientState, args RecallArgs) *RecallRes {
+	s.met.callbacksSent.Inc()
+	s.met.delegRecalls.Inc()
 	cb, err := s.callbackClient(c)
 	if err != nil {
 		return nil
 	}
 	e := xdr.NewEncoder()
 	args.Encode(e)
-	d, err := cb.CallTimeout(CallbackProgram, CallbackVersion, ProcRecall, e.Bytes(), s.cfg.CallTimeout)
+	d, err := cb.CallTraced(rid, CallbackProgram, CallbackVersion, ProcRecall, e.Bytes(), s.cfg.CallTimeout)
 	if err != nil {
 		return nil
 	}
@@ -403,15 +475,13 @@ func (s *ProxyServer) callbackRecall(c *clientState, args RecallArgs) *RecallRes
 	return &res
 }
 
-func (s *ProxyServer) callbackRecallAll(c *clientState) (*RecallAllRes, error) {
-	s.mu.Lock()
-	s.stats.CallbacksSent++
-	s.mu.Unlock()
+func (s *ProxyServer) callbackRecallAll(rid uint64, c *clientState) (*RecallAllRes, error) {
+	s.met.callbacksSent.Inc()
 	cb, err := s.callbackClient(c)
 	if err != nil {
 		return nil, err
 	}
-	d, err := cb.CallTimeout(CallbackProgram, CallbackVersion, ProcRecallAll, nil, s.cfg.CallTimeout)
+	d, err := cb.CallTraced(rid, CallbackProgram, CallbackVersion, ProcRecallAll, nil, s.cfg.CallTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -440,8 +510,9 @@ func newInvBuffer(max int) *invBuffer {
 }
 
 // add records an invalidation, coalescing duplicates and wrapping the
-// circular queue on overflow.
-func (b *invBuffer) add(key string) {
+// circular queue on overflow. It reports whether this add wrapped the queue
+// (losing the oldest entry).
+func (b *invBuffer) add(key string) (wrapped bool) {
 	if b.member[key] {
 		// Coalesce: move to the back (most recent).
 		for i, k := range b.order {
@@ -451,7 +522,7 @@ func (b *invBuffer) add(key string) {
 			}
 		}
 		b.order = append(b.order, key)
-		return
+		return false
 	}
 	if len(b.order) >= b.max {
 		// Circular queue wrap-around: the oldest entry is lost and the
@@ -460,9 +531,11 @@ func (b *invBuffer) add(key string) {
 		b.order = b.order[1:]
 		delete(b.member, oldest)
 		b.overflowed = true
+		wrapped = true
 	}
 	b.member[key] = true
 	b.order = append(b.order, key)
+	return wrapped
 }
 
 func (b *invBuffer) flush() {
@@ -483,9 +556,9 @@ func (s *ProxyServer) dispatchInv(call *sunrpc.Call) sunrpc.AcceptStat {
 	}
 	c := s.ensureClient(call.Cred)
 
+	s.met.getInvServed.Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.GetInvServed++
 	b := c.buf
 	res := GetInvRes{Timestamp: s.invTS}
 
@@ -496,13 +569,15 @@ func (s *ProxyServer) dispatchInv(call *sunrpc.Call) sunrpc.AcceptStat {
 		b.bootstrapped = true
 		b.flush()
 		res.ForceInvalidate = true
-		s.stats.ForceReplies++
+		s.met.forceReplies.Inc()
+		call.SpanDetail = "force"
 	case args.Timestamp != b.lastSentTS || b.overflowed:
 		// 2) The client has not kept up (crash, lost reply, or buffer
 		// wrap-around): flush and force-invalidate.
 		b.flush()
 		res.ForceInvalidate = true
-		s.stats.ForceReplies++
+		s.met.forceReplies.Inc()
+		call.SpanDetail = "force"
 	default:
 		// 3) Return buffer contents (bounded by one reply) and clear them.
 		n := len(b.order)
@@ -520,6 +595,7 @@ func (s *ProxyServer) dispatchInv(call *sunrpc.Call) sunrpc.AcceptStat {
 	}
 	b.lastSentTS = s.invTS
 	res.Timestamp = s.invTS
+	s.met.getinvBatch.Observe(int64(len(res.Handles)))
 	return encodeReply(call, &res)
 }
 
@@ -537,8 +613,10 @@ func (s *ProxyServer) queueInvalidations(from string, fhs []nfs3.FH) {
 			continue
 		}
 		for _, fh := range fhs {
-			c.buf.add(fh.Key())
-			s.stats.InvalidationsQueued++
+			if c.buf.add(fh.Key()) {
+				s.met.invOverflows.Inc()
+			}
+			s.met.invQueued.Inc()
 		}
 	}
 }

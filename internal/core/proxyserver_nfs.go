@@ -37,7 +37,7 @@ type callInfo struct {
 // forwardRaw relays a program verbatim (MOUNT).
 func (s *ProxyServer) forwardRaw(prog, vers uint32) sunrpc.DispatchFunc {
 	return func(call *sunrpc.Call) sunrpc.AcceptStat {
-		d, err := s.up.CallTimeout(prog, vers, call.Proc, remainingBytes(call.Args), s.cfg.CallTimeout)
+		d, err := s.up.CallTraced(call.ReqID, prog, vers, call.Proc, remainingBytes(call.Args), s.cfg.CallTimeout)
 		if err != nil {
 			return sunrpc.SystemErr
 		}
@@ -57,9 +57,14 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 	client := s.ensureClient(call.Cred)
 
 	argBytes := remainingBytes(call.Args)
-	info, ok := s.inspect(call.Proc, argBytes)
+	info, ok := s.inspect(call.ReqID, call.Proc, argBytes)
 	if !ok {
 		return sunrpc.GarbageArgs
+	}
+	if !info.primary.IsZero() {
+		call.SpanFH = info.primary.String()
+	} else if len(info.accesses) > 0 {
+		call.SpanFH = info.accesses[0].fh.String()
 	}
 
 	// A client whose write-delegation recall was lost may write back stale
@@ -81,7 +86,7 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 	var trailers Trailers
 	if s.cfg.Model == ModelDelegation {
 		for _, a := range info.accesses {
-			deleg, cacheable, _, seq := s.handleAccess(client, a)
+			deleg, cacheable, _, seq := s.handleAccess(call.ReqID, client, a)
 			trailers = append(trailers, Trailer{Deleg: deleg, Cacheable: cacheable, FH: a.fh, Seq: seq})
 		}
 	} else if !info.primary.IsZero() {
@@ -89,10 +94,8 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 	}
 
 	// Forward across the loopback to the kernel NFS server.
-	s.mu.Lock()
-	s.stats.Forwards++
-	s.mu.Unlock()
-	d, err := s.up.CallTimeout(nfs3.Program, nfs3.Version, call.Proc, argBytes, s.cfg.CallTimeout)
+	s.met.forwards.Inc()
+	d, err := s.up.CallTraced(call.ReqID, nfs3.Program, nfs3.Version, call.Proc, argBytes, s.cfg.CallTimeout)
 	if err != nil {
 		return sunrpc.SystemErr
 	}
@@ -110,7 +113,7 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 			// that the operation is durable.
 			for _, a := range info.accesses {
 				if a.write {
-					s.revokeOthers(client, a)
+					s.revokeOthers(call.ReqID, client, a)
 				}
 			}
 		}
@@ -121,7 +124,7 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 			if fh, isWrite, ok := postPrimary(call.Proc, replyBytes); ok {
 				a := accessReq{fh: fh, write: isWrite}
 				if s.cfg.Model == ModelDelegation {
-					deleg, cacheable, recalled, seq := s.handleAccess(client, a)
+					deleg, cacheable, recalled, seq := s.handleAccess(call.ReqID, client, a)
 					if recalled {
 						// The reply in hand predates the recall-triggered
 						// write-back; withholding the delegation forces the
@@ -176,7 +179,7 @@ func postPrimary(proc uint32, replyBytes []byte) (nfs3.FH, bool, bool) {
 // inspect decodes just enough of each call to drive consistency handling.
 // For REMOVE/RMDIR/RENAME the victim handle is resolved with an upstream
 // LOOKUP so its cached state can be invalidated and recalled too.
-func (s *ProxyServer) inspect(proc uint32, argBytes []byte) (callInfo, bool) {
+func (s *ProxyServer) inspect(rid uint64, proc uint32, argBytes []byte) (callInfo, bool) {
 	d := xdr.NewDecoder(argBytes)
 	var info callInfo
 	switch proc {
@@ -257,7 +260,7 @@ func (s *ProxyServer) inspect(proc uint32, argBytes []byte) (callInfo, bool) {
 		info.invTargets = []nfs3.FH{args.Dir}
 		info.primary = args.Dir
 		info.primaryWrite = true
-		if victim, ok := s.lookupUpstream(args.Dir, args.Name); ok {
+		if victim, ok := s.lookupUpstream(rid, args.Dir, args.Name); ok {
 			info.accesses = append(info.accesses, accessReq{fh: victim, write: true})
 			info.invTargets = append(info.invTargets, victim)
 		}
@@ -273,11 +276,11 @@ func (s *ProxyServer) inspect(proc uint32, argBytes []byte) (callInfo, bool) {
 		info.invTargets = []nfs3.FH{args.From.Dir, args.To.Dir}
 		info.primary = args.From.Dir
 		info.primaryWrite = true
-		if victim, ok := s.lookupUpstream(args.To.Dir, args.To.Name); ok {
+		if victim, ok := s.lookupUpstream(rid, args.To.Dir, args.To.Name); ok {
 			info.accesses = append(info.accesses, accessReq{fh: victim, write: true})
 			info.invTargets = append(info.invTargets, victim)
 		}
-		if moved, ok := s.lookupUpstream(args.From.Dir, args.From.Name); ok {
+		if moved, ok := s.lookupUpstream(rid, args.From.Dir, args.From.Name); ok {
 			info.invTargets = append(info.invTargets, moved)
 		}
 	case nfs3.ProcLink:
@@ -316,11 +319,11 @@ func (s *ProxyServer) inspect(proc uint32, argBytes []byte) (callInfo, bool) {
 
 // lookupUpstream resolves (dir, name) against the kernel NFS server; used to
 // learn victim handles of destructive directory operations.
-func (s *ProxyServer) lookupUpstream(dir nfs3.FH, name string) (nfs3.FH, bool) {
+func (s *ProxyServer) lookupUpstream(rid uint64, dir nfs3.FH, name string) (nfs3.FH, bool) {
 	args := nfs3.DirOpArgs{Dir: dir, Name: name}
 	e := xdr.NewEncoder()
 	args.Encode(e)
-	d, err := s.up.CallTimeout(nfs3.Program, nfs3.Version, nfs3.ProcLookup, e.Bytes(), s.cfg.CallTimeout)
+	d, err := s.up.CallTraced(rid, nfs3.Program, nfs3.Version, nfs3.ProcLookup, e.Bytes(), s.cfg.CallTimeout)
 	if err != nil {
 		return nfs3.FH{}, false
 	}
@@ -349,7 +352,7 @@ func (s *ProxyServer) fileForLocked(fh nfs3.FH) *fileState {
 // delegations (blocking until the callbacks complete, as the paper's
 // conflicting request does), and returns the delegation granted to this
 // client along with the cacheability decision.
-func (s *ProxyServer) handleAccess(client *clientState, a accessReq) (granted DelegType, cacheable, recalled bool, seq uint64) {
+func (s *ProxyServer) handleAccess(rid uint64, client *clientState, a accessReq) (granted DelegType, cacheable, recalled bool, seq uint64) {
 	id := client.rec.ID
 	now := s.clk.Now()
 
@@ -376,8 +379,10 @@ func (s *ProxyServer) handleAccess(client *clientState, a accessReq) (granted De
 		sh.mode = mode
 	}
 
-	// Identify conflicting delegations held by other sharers.
-	for otherID, other := range fs.sharers {
+	// Identify conflicting delegations held by other sharers, in stable
+	// order so recall callbacks are issued (and traced) deterministically.
+	for _, otherID := range sortedSharerIDs(fs) {
+		other := fs.sharers[otherID]
 		if otherID == id {
 			continue
 		}
@@ -416,7 +421,7 @@ func (s *ProxyServer) handleAccess(client *clientState, a accessReq) (granted De
 	// Issue the callbacks without holding the lock: the recalled clients
 	// will write dirty data back through this same server.
 	for _, r := range recalls {
-		res := s.callbackRecall(r.c, r.args)
+		res := s.callbackRecall(rid, r.c, r.args)
 		s.mu.Lock()
 		r.sh.deleg = DelegNone
 		if res == nil && r.args.Deleg == DelegWrite {
@@ -458,8 +463,10 @@ func (s *ProxyServer) handleAccess(client *clientState, a accessReq) (granted De
 	switch {
 	case a.write && !otherOpen:
 		granted = DelegWrite
+		s.met.delegWriteGrants.Inc()
 	case !a.write && !otherWriter && !otherPending:
 		granted = DelegRead
+		s.met.delegReadGrants.Inc()
 	default:
 		granted = DelegNone
 	}
@@ -472,7 +479,7 @@ func (s *ProxyServer) handleAccess(client *clientState, a accessReq) (granted De
 
 // revokeOthers recalls every delegation other clients hold on a.fh; used
 // after a destructive operation commits to catch grants that raced with it.
-func (s *ProxyServer) revokeOthers(client *clientState, a accessReq) {
+func (s *ProxyServer) revokeOthers(rid uint64, client *clientState, a accessReq) {
 	id := client.rec.ID
 	type target struct {
 		c    *clientState
@@ -483,7 +490,8 @@ func (s *ProxyServer) revokeOthers(client *clientState, a accessReq) {
 	s.mu.Lock()
 	fs, ok := s.files[a.fh.Key()]
 	if ok {
-		for otherID, other := range fs.sharers {
+		for _, otherID := range sortedSharerIDs(fs) {
+			other := fs.sharers[otherID]
 			if otherID == id || other.deleg == DelegNone {
 				continue
 			}
@@ -501,7 +509,7 @@ func (s *ProxyServer) revokeOthers(client *clientState, a accessReq) {
 	}
 	s.mu.Unlock()
 	for _, r := range recalls {
-		res := s.callbackRecall(r.c, r.args)
+		res := s.callbackRecall(rid, r.c, r.args)
 		s.mu.Lock()
 		r.sh.deleg = DelegNone
 		if res == nil && r.args.Deleg == DelegWrite {

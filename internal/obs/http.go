@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+)
+
+// Handler exposes an Obs instance over HTTP for the real-TCP binaries:
+// /metrics serves the Prometheus text exposition, /metrics.json the raw
+// snapshot, and /spans the formatted trace of every retained span. publish,
+// when non-nil, runs before each response so sampled gauges are fresh.
+func (o *Obs) Handler(publish func()) http.Handler {
+	pub := func() {
+		if publish != nil {
+			publish()
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		pub()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = o.Registry().WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		pub()
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Registry().WriteJSON(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, FormatSpans(o.Spans()))
+	})
+	return mux
+}

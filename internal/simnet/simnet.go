@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 )
@@ -65,6 +66,50 @@ type Net struct {
 	stats       map[hostPair]*Stats
 	events      []Event
 	portSeq     int
+
+	reg      *obs.Registry
+	obsLinks map[hostPair]*linkMetrics
+}
+
+// linkMetrics caches the registry series for one directed link so the send
+// path does not rebuild label strings per message.
+type linkMetrics struct {
+	msgs, bytes, drops                             *obs.Counter
+	faultDrop, faultDup, faultReorder, faultJitter *obs.Counter
+	queue                                          *obs.Histogram
+}
+
+// SetObs mirrors per-link traffic into reg: message/byte/drop counters,
+// fault-injection counters by kind, and a histogram of bandwidth queueing
+// delay (how long a message waited for the link to go idle, in virtual
+// time). Safe to call once before traffic flows.
+func (n *Net) SetObs(reg *obs.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg = reg
+	n.obsLinks = make(map[hostPair]*linkMetrics)
+}
+
+func (n *Net) linkMetricsLocked(key hostPair) *linkMetrics {
+	if n.reg == nil {
+		return nil
+	}
+	lm := n.obsLinks[key]
+	if lm == nil {
+		link := key.from + "->" + key.to
+		lm = &linkMetrics{
+			msgs:         n.reg.Counter(obs.Label("simnet_messages_total", "link", link)),
+			bytes:        n.reg.Counter(obs.Label("simnet_bytes_total", "link", link)),
+			drops:        n.reg.Counter(obs.Label("simnet_drops_total", "link", link)),
+			faultDrop:    n.reg.Counter(obs.Label(obs.Label("simnet_faults_total", "link", link), "kind", "drop")),
+			faultDup:     n.reg.Counter(obs.Label(obs.Label("simnet_faults_total", "link", link), "kind", "dup")),
+			faultReorder: n.reg.Counter(obs.Label(obs.Label("simnet_faults_total", "link", link), "kind", "reorder")),
+			faultJitter:  n.reg.Counter(obs.Label(obs.Label("simnet_faults_total", "link", link), "kind", "jitter")),
+			queue:        n.reg.Histogram(obs.Label("simnet_queue_delay", "link", link), obs.DurationBuckets),
+		}
+		n.obsLinks[key] = lm
+	}
+	return lm
 }
 
 // New creates a network whose unspecified links use def.
@@ -326,8 +371,12 @@ func (c *conn) Send(msg []byte) error {
 	n.mu.Lock()
 	key := hostPair{c.localHost, c.remoteHost}
 	st := n.statLocked(c.localHost, c.remoteHost)
+	lm := n.linkMetricsLocked(key)
 	if n.partitioned[key] {
 		st.Dropped++
+		if lm != nil {
+			lm.drops.Inc()
+		}
 		n.mu.Unlock()
 		// Partitioned links silently drop; senders discover via timeouts,
 		// as with a real blackhole.
@@ -337,6 +386,9 @@ func (c *conn) Send(msg []byte) error {
 	lf := n.faultsLocked(c.localHost, c.remoteHost)
 	if lf != nil && lf.rng.Float64() < lf.policy.DropProb {
 		st.FaultDrops++
+		if lm != nil {
+			lm.faultDrop.Inc()
+		}
 		n.mu.Unlock()
 		// Like partition drops: silent loss, discovered via timeouts.
 		return nil
@@ -345,6 +397,9 @@ func (c *conn) Send(msg []byte) error {
 	depart := now
 	if bu := n.busyUntil[key]; bu > depart {
 		depart = bu
+	}
+	if lm != nil {
+		lm.queue.ObserveDuration(depart - now)
 	}
 	var xmit time.Duration
 	if p.Bandwidth > 0 {
@@ -362,19 +417,32 @@ func (c *conn) Send(msg []byte) error {
 		if lf.policy.JitterMax > 0 {
 			arrival += time.Duration(lf.rng.Int63n(int64(lf.policy.JitterMax)))
 			st.FaultJitters++
+			if lm != nil {
+				lm.faultJitter.Inc()
+			}
 		}
 		if lf.rng.Float64() < lf.policy.ReorderProb {
 			// Hold the message back so later sends can overtake it.
 			arrival += time.Duration(lf.rng.Int63n(int64(window))) + 1
 			st.FaultReorders++
+			if lm != nil {
+				lm.faultReorder.Inc()
+			}
 		}
 		if lf.rng.Float64() < lf.policy.DupProb {
 			dupArrival = arrival + time.Duration(lf.rng.Int63n(int64(window))) + 1
 			st.FaultDups++
+			if lm != nil {
+				lm.faultDup.Inc()
+			}
 		}
 	}
 	st.Messages++
 	st.Bytes += int64(len(msg))
+	if lm != nil {
+		lm.msgs.Inc()
+		lm.bytes.Add(int64(len(msg)))
+	}
 	n.mu.Unlock()
 
 	buf := make([]byte, len(msg))

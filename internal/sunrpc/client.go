@@ -1,13 +1,26 @@
 package sunrpc
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/xdr"
 )
+
+// ProcNameFunc renders (prog, proc) as a human-readable operation name for
+// trace spans. A nil func falls back to numeric formatting.
+type ProcNameFunc func(prog, proc uint32) string
+
+func procLabel(fn ProcNameFunc, prog, proc uint32) string {
+	if fn != nil {
+		return fn(prog, proc)
+	}
+	return fmt.Sprintf("%d/%d", prog, proc)
+}
 
 // Client issues RPC calls over a single connection. Calls may be issued
 // concurrently from many actors; replies are matched by XID. The client owns
@@ -22,6 +35,9 @@ type Client struct {
 	pending map[uint32]*pendingCall
 	closed  bool
 	counts  map[uint64]int64 // prog<<32|proc -> calls sent
+
+	node     *obs.Node
+	procName ProcNameFunc
 }
 
 type pendingCall struct {
@@ -46,6 +62,16 @@ func NewClient(clk *vclock.Clock, conn transport.Conn, cred Cred) *Client {
 	return c
 }
 
+// SetObs attaches a trace node: every call records a "call <PROC>" span at
+// that node, and calls issued without an explicit request ID mint a fresh
+// one there — this is how the emulated kernel client stamps each RPC.
+func (c *Client) SetObs(node *obs.Node, procName ProcNameFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.node = node
+	c.procName = procName
+}
+
 // SetCred replaces the credential used for subsequent calls.
 func (c *Client) SetCred(cred Cred) {
 	c.mu.Lock()
@@ -63,6 +89,14 @@ func (c *Client) Call(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error
 // timeout the pending entry is abandoned (a late reply is dropped), matching
 // at-least-once RPC semantics where the caller simply retries.
 func (c *Client) CallTimeout(prog, vers, proc uint32, args []byte, timeout time.Duration) (*xdr.Decoder, error) {
+	return c.CallTraced(0, prog, vers, proc, args, timeout)
+}
+
+// CallTraced is CallTimeout carrying an explicit trace request ID, used by
+// proxies forwarding a traced call so the downstream RPC shares the
+// originating ID. A zero reqID mints a fresh ID when a trace node is
+// attached.
+func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, timeout time.Duration) (*xdr.Decoder, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -74,9 +108,35 @@ func (c *Client) CallTimeout(prog, vers, proc uint32, args []byte, timeout time.
 	c.pending[xid] = pc
 	c.counts[uint64(prog)<<32|uint64(proc)]++
 	cred := c.cred
+	node, procName := c.node, c.procName
 	c.mu.Unlock()
 
-	msg := marshalCall(xid, prog, vers, proc, cred, args)
+	if reqID == 0 {
+		reqID = node.Mint() // nil node mints 0: call stays untraced
+	}
+	start := node.Now()
+	body, err := c.send(xid, prog, vers, proc, cred, reqID, args, pc, timeout)
+	if node != nil {
+		sp := obs.Span{
+			Req:   reqID,
+			Op:    "call " + procLabel(procName, prog, proc),
+			Bytes: int64(len(args)),
+			Start: start,
+			End:   node.Now(),
+		}
+		if body != nil {
+			sp.Bytes += int64(body.Remaining())
+		}
+		if err != nil {
+			sp.Err = err.Error()
+		}
+		node.Record(sp)
+	}
+	return body, err
+}
+
+func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte, pc *pendingCall, timeout time.Duration) (*xdr.Decoder, error) {
+	msg := marshalCall(xid, prog, vers, proc, cred, reqID, args)
 	if err := c.conn.Send(msg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, xid)

@@ -3,6 +3,7 @@ package sunrpc
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/xdr"
@@ -28,6 +29,19 @@ type Server struct {
 	conns    map[transport.Conn]bool
 	closed   bool
 	counts   map[uint64]int64 // prog<<32|proc -> calls served
+
+	node     *obs.Node
+	procName ProcNameFunc
+}
+
+// SetObs attaches a trace node: every dispatched call records a
+// "serve <PROC>" span carrying the caller's request ID and any annotations
+// the dispatch function left on the Call.
+func (s *Server) SetObs(node *obs.Node, procName ProcNameFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.node = node
+	s.procName = procName
 }
 
 // NewServer returns an empty server; register programs before Serve.
@@ -135,6 +149,7 @@ func (s *Server) handle(conn transport.Conn, m *parsedMsg) {
 	fn, ok := s.programs[progVers{m.prog, m.vers}]
 	knownProg := s.progs[m.prog]
 	s.counts[uint64(m.prog)<<32|uint64(m.proc)]++
+	node, procName := s.node, s.procName
 	s.mu.Unlock()
 
 	if !ok {
@@ -152,13 +167,30 @@ func (s *Server) handle(conn transport.Conn, m *parsedMsg) {
 		Vers:  m.vers,
 		Proc:  m.proc,
 		Cred:  m.cred,
+		ReqID: m.reqID,
 		Args:  m.body,
 		Reply: xdr.NewEncoder(),
 	}
+	start := node.Now()
 	stat := fn(call)
 	var results []byte
 	if stat == Success {
 		results = call.Reply.Bytes()
+	}
+	if node != nil {
+		sp := obs.Span{
+			Req:    call.ReqID,
+			Op:     "serve " + procLabel(procName, m.prog, m.proc),
+			FH:     call.SpanFH,
+			Detail: call.SpanDetail,
+			Bytes:  call.SpanBytes,
+			Start:  start,
+			End:    node.Now(),
+		}
+		if stat != Success {
+			sp.Err = stat.String()
+		}
+		node.Record(sp)
 	}
 	conn.Send(marshalReply(m.xid, stat, results))
 }

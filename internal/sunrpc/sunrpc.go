@@ -63,6 +63,12 @@ const (
 	// encapsulate their session key, client ID and callback address in every
 	// RPC request (paper sections 4.3.2-4.3.3).
 	AuthGVFS = 395648
+	// AuthTrace is a private *verifier* flavor carrying an 8-byte trace
+	// request ID. Verifiers are orthogonal to credentials, so any call —
+	// whatever its auth flavor — can carry a request ID without changing the
+	// argument encoding; peers that do not understand the flavor ignore the
+	// verifier, as RFC 5531 allows.
+	AuthTrace = 395649
 )
 
 // Cred is an opaque RPC credential (flavor + body).
@@ -95,10 +101,22 @@ type Call struct {
 	Vers uint32
 	Proc uint32
 	Cred Cred
+	// ReqID is the trace request ID carried in the call's AuthTrace
+	// verifier, or 0 when the caller sent none. Servers that forward the
+	// call downstream propagate it so the whole chain shares one ID.
+	ReqID uint64
 	// Args decodes the procedure arguments.
 	Args *xdr.Decoder
 	// Reply accumulates the procedure results on Success.
 	Reply *xdr.Encoder
+
+	// Span annotations. A dispatch function may fill these in so the
+	// server's tracer records a richer serve span (file handle, cache
+	// hit/miss detail, payload size) without the RPC layer understanding
+	// the program's argument encoding.
+	SpanFH     string
+	SpanDetail string
+	SpanBytes  int64
 }
 
 // Errors returned by the client.
@@ -114,8 +132,11 @@ type Error struct {
 
 func (e *Error) Error() string { return "sunrpc: " + e.Stat.String() }
 
-// marshalCall builds the wire form of a call message.
-func marshalCall(xid, prog, vers, proc uint32, cred Cred, args []byte) []byte {
+// marshalCall builds the wire form of a call message. A non-zero reqID is
+// carried in an AuthTrace verifier; zero keeps the traditional AUTH_NONE
+// verifier so untraced calls are byte-identical to the pre-tracing wire
+// format.
+func marshalCall(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte) []byte {
 	e := xdr.NewEncoder()
 	e.Uint32(xid)
 	e.Uint32(msgCall)
@@ -125,8 +146,15 @@ func marshalCall(xid, prog, vers, proc uint32, cred Cred, args []byte) []byte {
 	e.Uint32(proc)
 	e.Uint32(cred.Flavor)
 	e.Opaque(cred.Body)
-	e.Uint32(AuthNone) // verifier
-	e.Opaque(nil)
+	if reqID != 0 {
+		ve := xdr.NewEncoder()
+		ve.Uint64(reqID)
+		e.Uint32(AuthTrace)
+		e.Opaque(ve.Bytes())
+	} else {
+		e.Uint32(AuthNone)
+		e.Opaque(nil)
+	}
 	e.FixedOpaque(args)
 	// FixedOpaque pads, but args are already XDR so always 4-aligned.
 	return e.Bytes()
@@ -152,6 +180,7 @@ type parsedMsg struct {
 	// call fields
 	prog, vers, proc uint32
 	cred             Cred
+	reqID            uint64
 	// reply fields
 	replyStat  uint32
 	acceptStat AcceptStat
@@ -193,12 +222,20 @@ func parseMsg(raw []byte) (*parsedMsg, error) {
 		if m.cred.Body, err = d.Opaque(maxCred); err != nil {
 			return nil, err
 		}
-		// Verifier: flavor + opaque, ignored.
-		if _, err = d.Uint32(); err != nil {
+		// Verifier: AuthTrace carries the trace request ID; anything else
+		// is ignored.
+		vflavor, err := d.Uint32()
+		if err != nil {
 			return nil, err
 		}
-		if _, err = d.Opaque(maxCred); err != nil {
+		vbody, err := d.Opaque(maxCred)
+		if err != nil {
 			return nil, err
+		}
+		if vflavor == AuthTrace && len(vbody) == 8 {
+			if id, err := xdr.NewDecoder(vbody).Uint64(); err == nil {
+				m.reqID = id
+			}
 		}
 	case msgReply:
 		if m.replyStat, err = d.Uint32(); err != nil {

@@ -357,6 +357,33 @@ func (c *Clock) onlyDaemonsLocked() bool {
 	return true
 }
 
+// Diag is a point-in-time view of the scheduler, suitable for metrics
+// gauges and debug dumps.
+type Diag struct {
+	Virtual  bool
+	Now      time.Duration
+	Actors   int
+	Runnable int
+	Timers   int
+}
+
+// Diag reports scheduler state. Safe to call from any goroutine, including
+// non-actors such as a metrics exposition handler.
+func (c *Clock) Diag() Diag {
+	if !c.virtual {
+		return Diag{Now: c.Now()}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pending := 0
+	for _, t := range c.timers {
+		if !t.canceled && !t.fired {
+			pending++
+		}
+	}
+	return Diag{Virtual: true, Now: c.now, Actors: len(c.actors), Runnable: c.runnable, Timers: pending}
+}
+
 func (c *Clock) dumpLocked() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "virtual time %v, %d actors:\n", c.now, len(c.actors))
