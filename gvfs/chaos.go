@@ -189,6 +189,12 @@ type ChaosReport struct {
 
 	// Metrics is the unified registry snapshot taken after the drain.
 	Metrics obs.Snapshot
+
+	// Retransmits and DRCHits total the at-least-once RPC machinery's work
+	// across every node: same-XID retransmissions sent, and duplicate
+	// requests answered from a server's reply cache instead of re-executed.
+	Retransmits int64
+	DRCHits     int64
 }
 
 // traceSpans bounds how many spans a per-path violation trace retains.
@@ -269,6 +275,13 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		DelegRenew:       30 * time.Second,
 		DelegExpiry:      2 * time.Minute,
 		FlushParallelism: o.FlushParallelism,
+		// Same-XID retransmission inside each 4 s call window (at ~1 s and
+		// ~3 s), so a dropped request or reply is usually recovered without
+		// surfacing an error; the jitter hash is seeded from the run so
+		// replays stay byte-identical.
+		RetransmitInitial: time.Second,
+		RetransmitMax:     4 * time.Second,
+		RetransmitSeed:    o.Seed,
 	}
 	if o.Model == core.ModelPolling {
 		cfg.WriteBack = true
@@ -435,6 +448,8 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		}
 	}
 	rep.Metrics = d.PublishMetrics()
+	rep.Retransmits = rep.Metrics.SumCounters("gvfs_rpc_retransmits_total")
+	rep.DRCHits = rep.Metrics.SumCounters("gvfs_rpc_drc_hits_total")
 
 	rep.NetEvents = d.Net.Events()
 	rep.NetStats = d.Net.TotalStats()

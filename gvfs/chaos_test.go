@@ -95,6 +95,122 @@ func TestChaosBothModels(t *testing.T) {
 	}
 }
 
+// lossyFaults is the acceptance fault policy for the at-least-once RPC
+// machinery: every link drops well above the retransmission design point
+// (>= 5% per message) and duplicates often enough to exercise the
+// duplicate-request cache on every server.
+func lossyFaults() simnet.Faults {
+	return simnet.Faults{
+		DropProb:    0.06,
+		DupProb:     0.03,
+		ReorderProb: 0.05,
+		JitterMax:   5 * time.Millisecond,
+	}
+}
+
+// TestChaosLossyLinksBothModels runs the full chaos schedule over links
+// lossy enough that bare single-send RPC could not survive, and asserts the
+// retransmission + duplicate-request-cache machinery both carried real load
+// and preserved the visibility rules in both consistency models.
+func TestChaosLossyLinksBothModels(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		model core.Model
+	}{
+		{"polling", core.ModelPolling},
+		{"delegation", core.ModelDelegation},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			seed := testSeed(t, 23)
+			rep, err := RunChaos(ChaosOptions{
+				Model:  mode.model,
+				Seed:   seed,
+				Faults: lossyFaults(),
+			})
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			for p, trace := range rep.Traces {
+				t.Logf("span trace for %s:\n%s", p, trace)
+			}
+			if rep.NetStats.FaultDrops == 0 {
+				t.Errorf("no fault drops despite DropProb=%v: %+v", lossyFaults().DropProb, rep.NetStats)
+			}
+			if rep.Retransmits == 0 {
+				t.Error("no same-XID retransmissions on a link dropping 6% of messages")
+			}
+			if rep.DRCHits == 0 {
+				t.Error("no duplicate-request cache hits despite drops and duplication")
+			}
+			if rep.OpErrors == rep.Ops {
+				t.Errorf("every one of %d ops errored — harness not exercising the stack", rep.Ops)
+			}
+			t.Logf("%s: %d ops (%d errors), %d retransmits, %d DRC hits, net %+v",
+				mode.name, rep.Ops, rep.OpErrors, rep.Retransmits, rep.DRCHits, rep.NetStats)
+		})
+	}
+}
+
+// TestChaosLossyTraceDeterminism replays one lossy seed twice with full
+// trace capture and asserts the runs are byte-identical: same disruption
+// log, same retransmission work, same span dump for every path. The
+// retransmission jitter is a hash of (seed, XID, attempt) rather than a
+// shared PRNG draw precisely so this holds regardless of actor scheduling.
+func TestChaosLossyTraceDeterminism(t *testing.T) {
+	seed := testSeed(t, 29)
+	opts := ChaosOptions{
+		Model:    core.ModelPolling,
+		Steps:    60,
+		Seed:     seed,
+		Faults:   lossyFaults(),
+		TraceAll: true,
+	}
+	r1, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	for _, rep := range []*ChaosReport{r1, r2} {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if r1.Retransmits == 0 {
+		t.Error("no retransmissions in a lossy run")
+	}
+	if r1.Retransmits != r2.Retransmits || r1.DRCHits != r2.DRCHits {
+		t.Errorf("RPC recovery work differs across replays: %d/%d retransmits, %d/%d DRC hits",
+			r1.Retransmits, r2.Retransmits, r1.DRCHits, r2.DRCHits)
+	}
+	if len(r1.NetEvents) != len(r2.NetEvents) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(r1.NetEvents), len(r2.NetEvents))
+	}
+	for i := range r1.NetEvents {
+		if r1.NetEvents[i] != r2.NetEvents[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, r1.NetEvents[i], r2.NetEvents[i])
+		}
+	}
+	if len(r1.Traces) != len(r2.Traces) {
+		t.Fatalf("trace sets differ: %d vs %d paths", len(r1.Traces), len(r2.Traces))
+	}
+	for p, tr1 := range r1.Traces {
+		tr2, ok := r2.Traces[p]
+		if !ok {
+			t.Errorf("path %s traced in run 1 only", p)
+			continue
+		}
+		if tr1 != tr2 {
+			t.Errorf("trace for %s differs between identically seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", p, tr1, tr2)
+		}
+	}
+}
+
 // TestChaosSeedReproducible re-runs the same seeded plan and asserts the
 // disruption schedule replays identically (same partition/heal events at
 // the same virtual times) and that fault injection was active both times.

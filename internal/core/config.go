@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sunrpc"
 )
 
 // Model selects a GVFS session's cache consistency protocol.
@@ -112,6 +113,26 @@ type Config struct {
 	// partitions surface as retriable timeouts. Default 15 s.
 	CallTimeout time.Duration
 
+	// RetransmitInitial is the wait before an unanswered upstream or
+	// callback RPC is retransmitted under the same XID (the at-least-once
+	// recovery NFS assumes; the server's duplicate-request cache keeps the
+	// extra copies from re-executing). Subsequent waits double up to
+	// RetransmitMax. Negative disables retransmission. Default 1 s.
+	RetransmitInitial time.Duration
+	// RetransmitMax caps the exponential retransmission backoff.
+	// Default 8 s.
+	RetransmitMax time.Duration
+	// RetransmitJitter bounds the deterministic per-attempt jitter added to
+	// each retransmission wait (hashed from RetransmitSeed, the XID and the
+	// attempt, so simulations reproduce exactly). Default 100 ms.
+	RetransmitJitter time.Duration
+	// RetransmitSeed perturbs the retransmission jitter hash. Default 0.
+	RetransmitSeed int64
+	// DRCEntries bounds each connection's duplicate-request cache at the
+	// proxy RPC servers (proxy server, NFS server, and the proxy client's
+	// callback service). Negative disables the cache. Default 512.
+	DRCEntries int
+
 	// UIDMap and GIDMap translate the client domain's numeric identities
 	// into the server domain's before requests cross the wide area — the
 	// cross-domain identity mapping the paper's middleware performs.
@@ -180,5 +201,31 @@ func (c Config) withDefaults() Config {
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 15 * time.Second
 	}
+	if c.RetransmitInitial == 0 {
+		c.RetransmitInitial = time.Second
+	}
+	if c.RetransmitMax == 0 {
+		c.RetransmitMax = 8 * time.Second
+	}
+	if c.RetransmitJitter == 0 {
+		c.RetransmitJitter = 100 * time.Millisecond
+	}
+	if c.DRCEntries == 0 {
+		c.DRCEntries = 512
+	}
 	return c
+}
+
+// applyRetransmit installs the session's retransmission policy on an RPC
+// client (upstream or callback), unless retransmission is disabled.
+func (c Config) applyRetransmit(cl *sunrpc.Client) {
+	if c.RetransmitInitial <= 0 {
+		return
+	}
+	cl.SetRetransmit(sunrpc.RetransmitPolicy{
+		Initial: c.RetransmitInitial,
+		Max:     c.RetransmitMax,
+		Jitter:  c.RetransmitJitter,
+		Seed:    c.RetransmitSeed,
+	})
 }

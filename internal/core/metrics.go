@@ -55,6 +55,7 @@ type clientMetrics struct {
 	readAheads         *obs.Counter
 	readaheadJoins     *obs.Counter
 	renewBypass        *obs.Counter
+	pollCapped         *obs.Counter
 
 	flushInflight  *obs.Gauge
 	getinvBatch    *obs.Histogram
@@ -77,6 +78,7 @@ func newClientMetrics(reg *obs.Registry, node string) *clientMetrics {
 		readAheads:         reg.Counter(l("gvfs_client_readaheads_total")),
 		readaheadJoins:     reg.Counter(l("gvfs_client_readahead_joins_total")),
 		renewBypass:        reg.Counter(l("gvfs_client_deleg_renew_bypass_total")),
+		pollCapped:         reg.Counter(l("gvfs_client_poll_capped_total")),
 		flushInflight:      reg.Gauge(l("gvfs_client_flush_inflight")),
 		getinvBatch:        reg.Histogram(l("gvfs_client_getinv_batch"), obs.CountBuckets),
 		forwardLatency:     reg.Histogram(l("gvfs_client_forward_latency"), obs.DurationBuckets),

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/nfs3"
+	"repro/internal/simnet"
+	"repro/internal/sunrpc"
+	"repro/internal/vclock"
+)
+
+// TestPollOnceBoundedAgainstPollAgainLoop pins the fix for the unbounded
+// GETINV drain: a server (buggy, or a replayed response stream) that answers
+// every GETINV with PollAgain=true must not trap the poll loop forever — the
+// client caps the rounds, counts the event, and retries at the next window.
+func TestPollOnceBoundedAgainstPollAgainLoop(t *testing.T) {
+	clk := vclock.NewVirtual()
+	n := simnet.New(clk, simnet.Params{RTT: 10 * time.Millisecond})
+
+	// A pathological upstream: always one handle, always "poll again".
+	srv := sunrpc.NewServer(clk)
+	var served atomic.Int64
+	srv.Register(InvProgram, InvVersion, func(call *sunrpc.Call) sunrpc.AcceptStat {
+		var args GetInvArgs
+		if err := args.Decode(call.Args); err != nil {
+			return sunrpc.GarbageArgs
+		}
+		k := served.Add(1)
+		res := GetInvRes{Timestamp: args.Timestamp + 1, PollAgain: true, Handles: []nfs3.FH{fhN(uint64(k))}}
+		res.Encode(call.Reply)
+		return sunrpc.Success
+	})
+
+	done := make(chan struct{})
+	clk.Go("test", func() {
+		defer close(done)
+		l, err := n.Host("server").Listen(":111")
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		srv.Serve(l)
+		conn, err := n.Host("client").Dial("server:111")
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		up := sunrpc.NewClient(clk, conn, sunrpc.NoneCred())
+		cfg := Config{InvBufferEntries: 64, MaxHandlesPerReply: 16}
+		p := NewProxyClient(clk, cfg, up, SessionCred{SessionKey: "s", ClientID: "C1"})
+
+		gotAny, err := p.pollOnce()
+		if err != nil {
+			t.Errorf("pollOnce: %v", err)
+		}
+		if !gotAny {
+			t.Error("pollOnce = gotAny false, want true (handles were delivered)")
+		}
+		want := int64(p.maxPollRounds()) // 64/16 + 2 = 6
+		if got := served.Load(); got != want {
+			t.Errorf("server served %d GETINVs, want the cap of %d", got, want)
+		}
+		if got := p.met.pollCapped.Value(); got != 1 {
+			t.Errorf("poll_capped counter = %d, want 1", got)
+		}
+
+		// A second poll starts a fresh budget rather than staying wedged.
+		if _, err := p.pollOnce(); err != nil {
+			t.Errorf("second pollOnce: %v", err)
+		}
+		if got := p.met.pollCapped.Value(); got != 2 {
+			t.Errorf("poll_capped counter = %d after second poll, want 2", got)
+		}
+		up.Close()
+		srv.Close()
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation hung")
+	}
+	clk.Stop()
+}

@@ -119,6 +119,10 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 	// Upstream call spans (the wide-area round trips) are recorded at this
 	// proxy's node, nested under the kernel request via the shared ID.
 	upstream.SetObs(p.node, RPCName)
+	cfg.applyRetransmit(upstream)
+	// The callback service must be replay-safe too: a recall the server
+	// retransmits may not flush (or fence) twice.
+	p.srv.SetDRCSize(cfg.DRCEntries)
 	p.srv.Register(nfs3.Program, nfs3.Version, p.dispatchNFS)
 	p.srv.Register(nfs3.MountProgram, nfs3.MountVersion, p.dispatchMount)
 	p.srv.Register(CallbackProgram, CallbackVersion, p.dispatchCallback)
@@ -155,6 +159,7 @@ func (p *ProxyClient) reconnect(old *sunrpc.Client) bool {
 	}
 	nu.SetCred(p.cred.Encode())
 	nu.SetObs(p.node, RPCName)
+	p.cfg.applyRetransmit(nu)
 	p.mu.Lock()
 	if p.up != old {
 		p.mu.Unlock()
@@ -393,12 +398,30 @@ func (p *ProxyClient) adjustWindow(gotInvalidations bool) {
 // traffic issued at the same virtual instant.
 const pollBootstrapDelay = 1300 * time.Microsecond
 
+// maxPollRounds bounds one poll's GETINV loop: a healthy server drains its
+// invalidation buffer (at most InvBufferEntries handles, overflow collapses
+// to a single force-invalidate reply) in about InvBufferEntries /
+// MaxHandlesPerReply rounds, so anything far beyond that is a buggy or
+// replayed response stream setting PollAgain forever.
+func (p *ProxyClient) maxPollRounds() int {
+	rounds := p.cfg.InvBufferEntries/p.cfg.MaxHandlesPerReply + 2
+	if rounds < 4 {
+		rounds = 4
+	}
+	return rounds
+}
+
 // pollOnce issues GETINV calls until the buffer is drained, applying the
 // client-side algorithm of Section 4.2.1. All GETINVs of one poll round
 // share a request ID minted at this proxy.
 func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 	rid := p.node.Mint()
-	for {
+	for rounds := 0; ; rounds++ {
+		if rounds >= p.maxPollRounds() {
+			// Give up on this poll; the next window starts a fresh drain.
+			p.met.pollCapped.Inc()
+			return gotAny, nil
+		}
 		p.mu.Lock()
 		ts := p.lastInvTS
 		p.mu.Unlock()

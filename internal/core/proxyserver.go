@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -155,6 +156,8 @@ func NewProxyServer(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, dial
 	// forwards and callback recalls record their own call spans at this node.
 	s.srv.SetObs(s.node, RPCName)
 	s.up.SetObs(s.node, RPCName)
+	cfg.applyRetransmit(upstream)
+	s.srv.SetDRCSize(cfg.DRCEntries)
 	s.srv.Register(nfs3.Program, nfs3.Version, s.dispatchNFS)
 	s.srv.Register(nfs3.MountProgram, nfs3.MountVersion, s.forwardRaw(nfs3.MountProgram, nfs3.MountVersion))
 	s.srv.Register(InvProgram, InvVersion, s.dispatchInv)
@@ -439,6 +442,7 @@ func (s *ProxyServer) callbackClient(c *clientState) (*sunrpc.Client, error) {
 	}
 	cb := sunrpc.NewClient(s.clk, conn, sunrpc.NoneCred())
 	cb.SetObs(s.node, RPCName)
+	s.cfg.applyRetransmit(cb)
 	s.mu.Lock()
 	if c.cb == nil {
 		c.cb = cb
@@ -450,6 +454,38 @@ func (s *ProxyServer) callbackClient(c *clientState) (*sunrpc.Client, error) {
 	return cb, nil
 }
 
+// callbackCall issues one RPC on the client's callback channel. The lazily
+// dialed callback connection can be stale (the proxy client restarted, or an
+// earlier partition killed it); ErrClosed therefore invalidates the cached
+// client and redials once before giving up. Message loss on a live channel
+// is already covered underneath by same-XID retransmission, and the proxy
+// client's DRC keeps the extra recall copies from executing twice.
+func (s *ProxyServer) callbackCall(rid uint64, c *clientState, proc uint32, args []byte) (*xdr.Decoder, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cb, err := s.callbackClient(c)
+		if err != nil {
+			return nil, err
+		}
+		d, err := cb.CallTraced(rid, CallbackProgram, CallbackVersion, proc, args, s.cfg.CallTimeout)
+		if err == nil {
+			return d, nil
+		}
+		lastErr = err
+		s.mu.Lock()
+		if c.cb == cb {
+			c.cb = nil
+		}
+		stopped := s.stopped
+		s.mu.Unlock()
+		cb.Close()
+		if stopped || !errors.Is(err, sunrpc.ErrClosed) {
+			break // a timed-out channel already had its retransmissions
+		}
+	}
+	return nil, lastErr
+}
+
 // callbackRecall issues one recall RPC; failures drop the client's
 // delegation state (the client is presumed dead — its soft state is safe to
 // discard, and NFS retries recover the rest). rid is the trace request ID of
@@ -458,13 +494,9 @@ func (s *ProxyServer) callbackClient(c *clientState) (*sunrpc.Client, error) {
 func (s *ProxyServer) callbackRecall(rid uint64, c *clientState, args RecallArgs) *RecallRes {
 	s.met.callbacksSent.Inc()
 	s.met.delegRecalls.Inc()
-	cb, err := s.callbackClient(c)
-	if err != nil {
-		return nil
-	}
 	e := xdr.NewEncoder()
 	args.Encode(e)
-	d, err := cb.CallTraced(rid, CallbackProgram, CallbackVersion, ProcRecall, e.Bytes(), s.cfg.CallTimeout)
+	d, err := s.callbackCall(rid, c, ProcRecall, e.Bytes())
 	if err != nil {
 		return nil
 	}
@@ -477,11 +509,7 @@ func (s *ProxyServer) callbackRecall(rid uint64, c *clientState, args RecallArgs
 
 func (s *ProxyServer) callbackRecallAll(rid uint64, c *clientState) (*RecallAllRes, error) {
 	s.met.callbacksSent.Inc()
-	cb, err := s.callbackClient(c)
-	if err != nil {
-		return nil, err
-	}
-	d, err := cb.CallTraced(rid, CallbackProgram, CallbackVersion, ProcRecallAll, nil, s.cfg.CallTimeout)
+	d, err := s.callbackCall(rid, c, ProcRecallAll, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -227,6 +227,19 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
+// SumCounters totals every counter series of one family (the metric name
+// with its label block stripped) across all label sets — e.g. a per-node
+// counter summed over the whole deployment.
+func (s Snapshot) SumCounters(fam string) int64 {
+	var total int64
+	for name, v := range s.Counters {
+		if family(name) == fam {
+			total += v
+		}
+	}
+	return total
+}
+
 // Snapshot copies all series. Safe to call concurrently with updates.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{

@@ -2,6 +2,7 @@ package sunrpc
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -22,6 +23,61 @@ func procLabel(fn ProcNameFunc, prog, proc uint32) string {
 	return fmt.Sprintf("%d/%d", prog, proc)
 }
 
+// RetransmitPolicy configures same-XID retransmission for calls issued with a
+// timeout. The client resends the identical call message when no reply has
+// arrived after Initial, doubling the interval up to Max on each attempt,
+// until the call's overall timeout expires. Because every attempt carries the
+// same XID, a reply to any of them completes the call, and the server's
+// duplicate-request cache keeps the extra copies from re-executing the
+// handler — together giving at-least-once transmission with exactly-once
+// effects.
+type RetransmitPolicy struct {
+	// Initial is the wait before the first retransmission. Values <= 0
+	// default to 1s.
+	Initial time.Duration
+	// Max caps the exponentially growing wait. Zero defaults to 8*Initial;
+	// values below Initial are clamped to Initial.
+	Max time.Duration
+	// Jitter bounds the deterministic per-attempt jitter added to each wait.
+	// The jitter is a hash of (Seed, XID, attempt), not a draw from a shared
+	// PRNG, so simulations stay reproducible regardless of actor scheduling.
+	Jitter time.Duration
+	// Seed perturbs the jitter hash so different runs (or nodes) can desynchronize.
+	Seed int64
+}
+
+func (p RetransmitPolicy) withDefaults() RetransmitPolicy {
+	if p.Initial <= 0 {
+		p.Initial = time.Second
+	}
+	if p.Max == 0 {
+		p.Max = 8 * p.Initial
+	}
+	if p.Max < p.Initial {
+		p.Max = p.Initial
+	}
+	return p
+}
+
+// jitterFor derives the deterministic jitter for one retransmission attempt.
+func (p RetransmitPolicy) jitterFor(xid uint32, attempt int) time.Duration {
+	if p.Jitter <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	put64 := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put64(uint64(p.Seed))
+	put64(uint64(xid))
+	put64(uint64(attempt))
+	return time.Duration(h.Sum64() % uint64(p.Jitter))
+}
+
 // Client issues RPC calls over a single connection. Calls may be issued
 // concurrently from many actors; replies are matched by XID. The client owns
 // a demux actor reading the connection.
@@ -35,13 +91,17 @@ type Client struct {
 	pending map[uint32]*pendingCall
 	closed  bool
 	counts  map[uint64]int64 // prog<<32|proc -> calls sent
+	retr    *RetransmitPolicy
 
 	node     *obs.Node
 	procName ProcNameFunc
+
+	metRetransmits *obs.Counter
+	metBackoff     *obs.Histogram
 }
 
 type pendingCall struct {
-	w    *vclock.Waiter
+	w    *vclock.Waiter // current attempt's waiter; swapped under Client.mu on retransmit
 	body *xdr.Decoder
 	stat AcceptStat
 	err  error
@@ -70,6 +130,20 @@ func (c *Client) SetObs(node *obs.Node, procName ProcNameFunc) {
 	defer c.mu.Unlock()
 	c.node = node
 	c.procName = procName
+	if reg := node.Registry(); reg != nil {
+		c.metRetransmits = reg.Counter(obs.Label("gvfs_rpc_retransmits_total", "node", node.Name()))
+		c.metBackoff = reg.Histogram(obs.Label("gvfs_rpc_retransmit_backoff", "node", node.Name()), obs.DurationBuckets)
+	}
+}
+
+// SetRetransmit enables same-XID retransmission for timed calls. Calls with
+// timeout 0 (wait forever) still send only once — they have no timer to drive
+// resends. Without a policy the client keeps its single-send behavior.
+func (c *Client) SetRetransmit(p RetransmitPolicy) {
+	p = p.withDefaults()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retr = &p
 }
 
 // SetCred replaces the credential used for subsequent calls.
@@ -102,7 +176,18 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	c.xid++
+	// Skip XID 0 and any XID still pending: after a uint32 wrap (or with
+	// long-abandoned timeout-0 calls parked in the map) reusing a live XID
+	// would hand one call's reply to another.
+	for {
+		c.xid++
+		if c.xid == 0 {
+			continue
+		}
+		if _, busy := c.pending[c.xid]; !busy {
+			break
+		}
+	}
 	xid := c.xid
 	pc := &pendingCall{w: c.clk.NewWaiter()}
 	c.pending[xid] = pc
@@ -115,7 +200,7 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 		reqID = node.Mint() // nil node mints 0: call stays untraced
 	}
 	start := node.Now()
-	body, err := c.send(xid, prog, vers, proc, cred, reqID, args, pc, timeout)
+	body, retrans, err := c.send(xid, prog, vers, proc, cred, reqID, args, pc, timeout)
 	if node != nil {
 		sp := obs.Span{
 			Req:   reqID,
@@ -123,6 +208,9 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 			Bytes: int64(len(args)),
 			Start: start,
 			End:   node.Now(),
+		}
+		if retrans > 0 {
+			sp.Detail = fmt.Sprintf("retransmit=%d", retrans)
 		}
 		if body != nil {
 			sp.Bytes += int64(body.Remaining())
@@ -135,33 +223,112 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 	return body, err
 }
 
-func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte, pc *pendingCall, timeout time.Duration) (*xdr.Decoder, error) {
+// send transmits the call and blocks for its completion, retransmitting under
+// the same XID when a policy is installed. It returns the reply body and how
+// many retransmissions were sent.
+func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte, pc *pendingCall, timeout time.Duration) (*xdr.Decoder, int, error) {
 	msg := marshalCall(xid, prog, vers, proc, cred, reqID, args)
 	if err := c.conn.Send(msg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 
-	var timer *vclock.Timer
-	if timeout > 0 {
-		timer = c.clk.AfterFunc(timeout, func() {
+	c.mu.Lock()
+	policy := c.retr
+	c.mu.Unlock()
+
+	if policy == nil || timeout <= 0 {
+		// Single-send path: one overall timer (if any), one wait.
+		var timer *vclock.Timer
+		if timeout > 0 {
+			timer = c.clk.AfterFunc(timeout, func() {
+				c.mu.Lock()
+				if p, ok := c.pending[xid]; ok && !p.done {
+					p.err = ErrTimeout
+					p.done = true
+					delete(c.pending, xid)
+				}
+				c.mu.Unlock()
+				pc.w.Wake()
+			})
+		}
+		c.clk.WaitAs(pc.w, "rpc call")
+		if timer != nil {
+			timer.Stop()
+		}
+		body, err := c.finish(xid, pc)
+		return body, 0, err
+	}
+
+	deadline := c.clk.Now() + timeout
+	rto := policy.Initial
+	retrans := 0
+	for attempt := 0; ; attempt++ {
+		wait := rto + policy.jitterFor(xid, attempt)
+		last := false
+		if remaining := deadline - c.clk.Now(); remaining <= wait {
+			wait = remaining
+			last = true
+		}
+
+		c.mu.Lock()
+		if pc.done {
+			c.mu.Unlock()
+			break
+		}
+		w := pc.w
+		c.mu.Unlock()
+		timer := c.clk.AfterFunc(wait, w.Wake)
+		c.clk.WaitAs(w, "rpc call")
+		timer.Stop()
+
+		c.mu.Lock()
+		if pc.done {
+			c.mu.Unlock()
+			break
+		}
+		if stopped := c.clk.Stopped(); last || stopped {
+			pc.err = ErrTimeout
+			if stopped {
+				pc.err = ErrClosed
+			}
+			pc.done = true
+			delete(c.pending, xid)
+			c.mu.Unlock()
+			break
+		}
+		// This attempt timed out: install a fresh waiter for the next one
+		// before releasing the lock, so the demux hands a late reply to the
+		// waiter we are about to block on.
+		pc.w = c.clk.NewWaiter()
+		c.mu.Unlock()
+
+		if err := c.conn.Send(msg); err != nil {
 			c.mu.Lock()
-			if p, ok := c.pending[xid]; ok && !p.done {
-				p.err = ErrTimeout
-				p.done = true
+			if !pc.done {
+				pc.err = ErrClosed
+				pc.done = true
 				delete(c.pending, xid)
 			}
 			c.mu.Unlock()
-			pc.w.Wake()
-		})
+			break
+		}
+		retrans++
+		c.metRetransmits.Inc()
+		c.metBackoff.ObserveDuration(wait)
+		rto *= 2
+		if rto > policy.Max {
+			rto = policy.Max
+		}
 	}
-	c.clk.WaitAs(pc.w, "rpc call")
-	if timer != nil {
-		timer.Stop()
-	}
+	body, err := c.finish(xid, pc)
+	return body, retrans, err
+}
 
+// finish evaluates a completed (or shutdown-released) call under the lock.
+func (c *Client) finish(xid uint32, pc *pendingCall) (*xdr.Decoder, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !pc.done {
@@ -209,15 +376,17 @@ func (c *Client) demux() {
 		}
 		c.mu.Lock()
 		pc, ok := c.pending[m.xid]
+		var w *vclock.Waiter
 		if ok {
 			delete(c.pending, m.xid)
 			pc.body = m.body
 			pc.stat = m.acceptStat
 			pc.done = true
+			w = pc.w // read under the lock: retransmission swaps waiters
 		}
 		c.mu.Unlock()
-		if ok {
-			pc.w.Wake()
+		if w != nil {
+			w.Wake()
 		}
 	}
 }
@@ -225,15 +394,15 @@ func (c *Client) demux() {
 func (c *Client) failAll() {
 	c.mu.Lock()
 	c.closed = true
-	ps := make([]*pendingCall, 0, len(c.pending))
+	ws := make([]*vclock.Waiter, 0, len(c.pending))
 	for xid, pc := range c.pending {
 		pc.err = ErrClosed
 		pc.done = true
-		ps = append(ps, pc)
+		ws = append(ws, pc.w)
 		delete(c.pending, xid)
 	}
 	c.mu.Unlock()
-	for _, pc := range ps {
-		pc.w.Wake()
+	for _, w := range ws {
+		w.Wake()
 	}
 }

@@ -17,21 +17,29 @@ type DispatchFunc func(call *Call) AcceptStat
 
 type progVers struct{ prog, vers uint32 }
 
+// defaultDRCEntries bounds each connection's duplicate-request cache when no
+// explicit size is configured.
+const defaultDRCEntries = 512
+
 // Server accepts connections from a listener and dispatches RPC calls to
 // registered programs.
 type Server struct {
 	clk *vclock.Clock
 
-	mu       sync.Mutex
-	programs map[progVers]DispatchFunc
-	progs    map[uint32]bool // known program numbers, for ProgMismatch
-	ls       []transport.Listener
-	conns    map[transport.Conn]bool
-	closed   bool
-	counts   map[uint64]int64 // prog<<32|proc -> calls served
+	mu         sync.Mutex
+	programs   map[progVers]DispatchFunc
+	progs      map[uint32]bool // known program numbers, for ProgMismatch
+	ls         []transport.Listener
+	conns      map[transport.Conn]bool
+	closed     bool
+	counts     map[uint64]int64 // prog<<32|proc -> calls served
+	drcEntries int
 
 	node     *obs.Node
 	procName ProcNameFunc
+
+	metDRCHits *obs.Counter
+	metDRCBusy *obs.Counter
 }
 
 // SetObs attaches a trace node: every dispatched call records a
@@ -42,16 +50,36 @@ func (s *Server) SetObs(node *obs.Node, procName ProcNameFunc) {
 	defer s.mu.Unlock()
 	s.node = node
 	s.procName = procName
+	if reg := node.Registry(); reg != nil {
+		s.metDRCHits = reg.Counter(obs.Label("gvfs_rpc_drc_hits_total", "node", node.Name()))
+		s.metDRCBusy = reg.Counter(obs.Label("gvfs_rpc_drc_busy_total", "node", node.Name()))
+	}
 }
 
-// NewServer returns an empty server; register programs before Serve.
+// SetDRCSize bounds each connection's duplicate-request cache at n entries.
+// Zero restores the default; negative disables the cache (every call, even a
+// retransmitted duplicate, executes its handler — at-least-once semantics
+// with no replay protection). Takes effect for connections accepted after
+// the call.
+func (s *Server) SetDRCSize(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n == 0 {
+		n = defaultDRCEntries
+	}
+	s.drcEntries = n
+}
+
+// NewServer returns an empty server; register programs before Serve. The
+// duplicate-request cache is on by default (see SetDRCSize).
 func NewServer(clk *vclock.Clock) *Server {
 	return &Server{
-		clk:      clk,
-		programs: make(map[progVers]DispatchFunc),
-		progs:    make(map[uint32]bool),
-		conns:    make(map[transport.Conn]bool),
-		counts:   make(map[uint64]int64),
+		clk:        clk,
+		programs:   make(map[progVers]DispatchFunc),
+		progs:      make(map[uint32]bool),
+		conns:      make(map[transport.Conn]bool),
+		counts:     make(map[uint64]int64),
+		drcEntries: defaultDRCEntries,
 	}
 }
 
@@ -120,6 +148,71 @@ func (s *Server) Close() {
 	}
 }
 
+// drcEntry tracks one XID on a connection: in progress until the handler
+// finishes, then holding the reply bytes for replay.
+type drcEntry struct {
+	done  bool
+	reply []byte
+}
+
+// drc is the classic NFS duplicate-request cache, scoped to one connection
+// identity. At-least-once clients retransmit under the same XID; the cache
+// turns those duplicates into replays of the original reply (or silence
+// while the original is still executing) instead of re-executed handlers,
+// which is what makes non-idempotent procedures — REMOVE, RENAME, CREATE,
+// the GETINV queue drain, callback recalls — safe under message loss.
+type drc struct {
+	mu      sync.Mutex
+	max     int
+	entries map[uint32]*drcEntry
+	order   []uint32 // begin order, for bounded FIFO eviction
+}
+
+func newDRC(max int) *drc {
+	return &drc{max: max, entries: make(map[uint32]*drcEntry)}
+}
+
+// lookup returns the cached state for xid, or nil for a fresh request.
+func (d *drc) lookup(xid uint32) *drcEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.entries[xid]
+}
+
+// begin records xid as in progress and evicts beyond the bound, preferring
+// the oldest completed entry (evicting an in-progress one would let a still
+// pending duplicate re-execute, so that is a last resort).
+func (d *drc) begin(xid uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[xid] = &drcEntry{}
+	d.order = append(d.order, xid)
+	for len(d.entries) > d.max && len(d.order) > 0 {
+		victim := -1
+		for i, x := range d.order {
+			if e, ok := d.entries[x]; ok && e.done {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0
+		}
+		delete(d.entries, d.order[victim])
+		d.order = append(d.order[:victim], d.order[victim+1:]...)
+	}
+}
+
+// complete stores the reply bytes for later replay.
+func (d *drc) complete(xid uint32, reply []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[xid]; ok {
+		e.done = true
+		e.reply = reply
+	}
+}
+
 func (s *Server) serveConn(conn transport.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -127,6 +220,13 @@ func (s *Server) serveConn(conn transport.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+	s.mu.Lock()
+	drcSize := s.drcEntries
+	s.mu.Unlock()
+	var cache *drc
+	if drcSize > 0 {
+		cache = newDRC(drcSize)
+	}
 	for {
 		raw, err := conn.Recv()
 		if err != nil {
@@ -136,15 +236,41 @@ func (s *Server) serveConn(conn transport.Conn) {
 		if err != nil || m.mtype != msgCall {
 			continue
 		}
+		if cache != nil {
+			if e := cache.lookup(m.xid); e != nil {
+				// Retransmitted XID: replay the cached reply, or stay silent
+				// while the original execution is still in flight (the client
+				// will retransmit again if the eventual reply is lost).
+				if e.done {
+					s.metDRCHits.Inc()
+					conn.Send(e.reply)
+				} else {
+					s.metDRCBusy.Inc()
+				}
+				continue
+			}
+			cache.begin(m.xid)
+		}
 		// Each request is served on its own actor so slow handlers (e.g. a
 		// proxy server blocked issuing a callback) do not stall the
 		// connection — the multithreading the paper requires to avoid
 		// deadlock between NFS RPCs and GVFS callbacks.
-		s.clk.Go("sunrpc-req", func() { s.handle(conn, m) })
+		s.clk.Go("sunrpc-req", func() { s.handle(conn, cache, m) })
 	}
 }
 
-func (s *Server) handle(conn transport.Conn, m *parsedMsg) {
+// reply finishes a call: the wire reply is recorded in the connection's
+// duplicate-request cache before it is sent, so a retransmission that races
+// the reply still replays identical bytes.
+func (s *Server) reply(conn transport.Conn, cache *drc, xid uint32, stat AcceptStat, results []byte) {
+	raw := marshalReply(xid, stat, results)
+	if cache != nil {
+		cache.complete(xid, raw)
+	}
+	conn.Send(raw)
+}
+
+func (s *Server) handle(conn transport.Conn, cache *drc, m *parsedMsg) {
 	s.mu.Lock()
 	fn, ok := s.programs[progVers{m.prog, m.vers}]
 	knownProg := s.progs[m.prog]
@@ -157,7 +283,7 @@ func (s *Server) handle(conn transport.Conn, m *parsedMsg) {
 		if knownProg {
 			stat = ProgMismatch
 		}
-		conn.Send(marshalReply(m.xid, stat, nil))
+		s.reply(conn, cache, m.xid, stat, nil)
 		return
 	}
 
@@ -192,5 +318,5 @@ func (s *Server) handle(conn transport.Conn, m *parsedMsg) {
 		}
 		node.Record(sp)
 	}
-	conn.Send(marshalReply(m.xid, stat, results))
+	s.reply(conn, cache, m.xid, stat, results)
 }

@@ -1,0 +1,82 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTimerStopRemovesHeapEntry pins the fix for the virtual-timer leak:
+// Stop must physically remove the entry from the clock's heap, not merely
+// mark it canceled to be skipped when virtual time eventually reaches it —
+// a workload arming and canceling far-future timers (every RPC timeout that
+// never fires) would otherwise grow the heap without bound.
+func TestTimerStopRemovesHeapEntry(t *testing.T) {
+	clk := NewVirtual()
+	defer clk.Stop()
+	done := make(chan struct{})
+	clk.Go("test", func() {
+		defer close(done)
+		timers := make([]*Timer, 100)
+		for i := range timers {
+			timers[i] = clk.AfterFunc(time.Hour, func() { t.Error("canceled timer fired") })
+		}
+		if d := clk.Diag(); d.Timers != 100 {
+			t.Errorf("Diag.Timers = %d after arming, want 100", d.Timers)
+		}
+		// Stop out of heap order to exercise heap.Remove at interior indices.
+		for i := len(timers) - 1; i >= 0; i -= 2 {
+			if !timers[i].Stop() {
+				t.Errorf("Stop(%d) = false, want true", i)
+			}
+		}
+		for i := 0; i < len(timers); i += 2 {
+			if !timers[i].Stop() {
+				t.Errorf("Stop(%d) = false, want true", i)
+			}
+		}
+		clk.mu.Lock()
+		heapLen := len(clk.timers)
+		clk.mu.Unlock()
+		if heapLen != 0 {
+			t.Errorf("heap still holds %d entries after stopping every timer", heapLen)
+		}
+		if d := clk.Diag(); d.Timers != 0 {
+			t.Errorf("Diag.Timers = %d after stopping, want 0", d.Timers)
+		}
+		if timers[0].Stop() {
+			t.Error("second Stop returned true")
+		}
+	})
+	<-done
+}
+
+// TestTimerStopInterleavedWithFiring removes an interior heap entry and
+// checks the surviving timers still fire in order.
+func TestTimerStopInterleavedWithFiring(t *testing.T) {
+	clk := NewVirtual()
+	defer clk.Stop()
+	done := make(chan struct{})
+	clk.Go("test", func() {
+		defer close(done)
+		var fired [3]atomic.Bool
+		mk := func(i int, d time.Duration) *Timer {
+			return clk.AfterFunc(d, func() { fired[i].Store(true) })
+		}
+		t0 := mk(0, time.Second)
+		t1 := mk(1, 2*time.Second)
+		t2 := mk(2, 3*time.Second)
+		_ = t0
+		if !t1.Stop() {
+			t.Error("Stop(middle) = false")
+		}
+		clk.Sleep(4 * time.Second)
+		if !fired[0].Load() || fired[1].Load() || !fired[2].Load() {
+			t.Errorf("fired = [%v %v %v], want [true false true]", fired[0].Load(), fired[1].Load(), fired[2].Load())
+		}
+		if t2.Stop() {
+			t.Error("Stop after firing returned true")
+		}
+	})
+	<-done
+}

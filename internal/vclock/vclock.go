@@ -182,6 +182,14 @@ func (t *Timer) Stop() bool {
 		return false
 	}
 	t.t.canceled = true
+	// Remove the entry from the heap immediately instead of leaving it to be
+	// popped and skipped when virtual time reaches it: a workload that arms
+	// and cancels timers faster than time passes them (every successful RPC
+	// with a timeout does) would otherwise accumulate dead heap entries
+	// without bound.
+	if i := t.t.index; i >= 0 && i < len(t.c.timers) && t.c.timers[i] == t.t {
+		heap.Remove(&t.c.timers, i)
+	}
 	return true
 }
 
@@ -440,6 +448,7 @@ func (h *timerHeap) Pop() any {
 	n := len(old)
 	t := old[n-1]
 	old[n-1] = nil
+	t.index = -1
 	*h = old[:n-1]
 	return t
 }
