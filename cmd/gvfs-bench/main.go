@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov] [-scale N] [-q]
-//	           [-metrics-out file]
+//	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov|ablate|meta]
+//	           [-scale N] [-q] [-metrics-out file] [-json-out file]
 //
 // Scale 1 is the paper's full workload size; larger values shrink the
 // workloads proportionally for quick runs. With -metrics-out, every
@@ -25,19 +25,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate")
+	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate, meta")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
 	quiet := flag.Bool("q", false, "suppress per-setup progress lines")
 	metricsOut := flag.String("metrics-out", "", "write per-deployment metrics dumps to this file (- for stderr)")
+	jsonOut := flag.String("json-out", "", "write the machine-readable result of JSON-capable experiments (meta) to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *scale, *quiet, *metricsOut); err != nil {
+	if err := run(os.Stdout, *exp, *scale, *quiet, *metricsOut, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, scale int, quiet bool, metricsOut string) error {
+func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut string) error {
 	opt := bench.Options{Scale: scale}
 	if !quiet {
 		opt.Progress = os.Stderr
@@ -105,6 +106,25 @@ func run(w io.Writer, exp string, scale int, quiet bool, metricsOut string) erro
 				return err
 			}
 			bench.RenderAblations(w, rs)
+			return nil
+		}},
+		{"meta", func() error {
+			r, err := bench.RunMetadata(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			if jsonOut != "" {
+				f, err := os.Create(jsonOut)
+				if err != nil {
+					return fmt.Errorf("create %s: %w", jsonOut, err)
+				}
+				defer f.Close()
+				if err := r.WriteJSON(f); err != nil {
+					return fmt.Errorf("write %s: %w", jsonOut, err)
+				}
+				fmt.Fprintf(w, "json: %s\n", jsonOut)
+			}
 			return nil
 		}},
 	}

@@ -12,7 +12,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig8", 4, true, ""); err != nil {
+	if err := run(&sb, "fig8", 4, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -23,10 +23,30 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunMetaJSON(t *testing.T) {
+	var sb strings.Builder
+	out := filepath.Join(t.TempDir(), "meta.json")
+	if err := run(&sb, "meta", 10, true, "", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "metadata"`, `"GVFS-meta"`, `"GVFS-nometa"`, `"wan_rpcs_per_op"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("json missing %s", want)
+		}
+	}
+	if !strings.Contains(sb.String(), "Metadata fast path") {
+		t.Error("rendered output missing comparison table")
+	}
+}
+
 func TestRunMetricsDump(t *testing.T) {
 	var sb strings.Builder
 	out := filepath.Join(t.TempDir(), "metrics.prom")
-	if err := run(&sb, "fig8", 8, true, out); err != nil {
+	if err := run(&sb, "fig8", 8, true, out, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -49,7 +69,7 @@ func TestRunMetricsDump(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig99", 1, true, ""); err == nil {
+	if err := run(&sb, "fig99", 1, true, "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

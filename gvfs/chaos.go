@@ -1,6 +1,7 @@
 package gvfs
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/nfs3"
 	"repro/internal/nfsclient"
 	"repro/internal/obs"
 	"repro/internal/simnet"
@@ -42,6 +44,13 @@ import (
 type ChaosOptions struct {
 	// Model is the consistency model under test (default ModelPolling).
 	Model core.Model
+	// Metadata switches the workload from data overwrites to namespace
+	// churn: exclusive creates, unlinks, and renames over a shared name
+	// pool, probed by stats, access checks, and readdir membership scans.
+	// The checker then validates observed *existence* instead of observed
+	// values, exercising the proxy's dentry, negative-lookup, and listing
+	// caches under the same fault plan.
+	Metadata bool
 	// Clients is the number of concurrent client mounts (default 2).
 	Clients int
 	// Steps is the number of operations each client performs (default 120).
@@ -304,10 +313,17 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		propLag = cfg.DelegRenew + rpcSlack + 10*time.Second
 	}
 
+	// nameLag: how long after a write-through namespace op returns its
+	// effect can still land on the server (in-flight retries only — there
+	// is no write-back buffer for namespace state).
+	nameLag := rpcSlack
+
 	rep := &ChaosReport{Plan: plan}
 	paths := make([]string, o.Files)
 	writes := make(map[string][]*chaosWrite, o.Files)
+	nameEvents := make(map[string][]*chaosNameEvent)
 	logs := make([][]chaosOp, o.Clients)
+	metaLogs := make([][]chaosMetaOp, o.Clients)
 	mounts := make([]*Mount, o.Clients)
 	var sess *Session
 	var runErr error
@@ -319,13 +335,34 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 			return
 		}
 		initTime := d.Clock.Now()
-		for i := range paths {
-			paths[i] = fmt.Sprintf("chaos/f%d", i)
-			if _, err := d.FS.WriteFile(paths[i], []byte(chaosValue(-1, 0, o.ValueSize))); err != nil {
-				runErr = fmt.Errorf("chaos: seed %s: %w", paths[i], err)
-				return
+		if o.Metadata {
+			// Name pool: twice as many names as "files", half pre-created
+			// so unlinks, probes, and negative lookups all have material
+			// from the first step.
+			paths = make([]string, 2*o.Files)
+			for i := range paths {
+				paths[i] = chaosMetaName(i)
+				exists := i%2 == 0
+				if exists {
+					if _, err := d.FS.WriteFile(paths[i], []byte("x")); err != nil {
+						runErr = fmt.Errorf("chaos: seed %s: %w", paths[i], err)
+						return
+					}
+				}
+				nameEvents[paths[i]] = []*chaosNameEvent{{client: -1, exists: exists, start: initTime, end: initTime}}
 			}
-			writes[paths[i]] = []*chaosWrite{{client: -1, start: initTime, end: initTime}}
+			for i := 0; i < chaosMetaGhosts; i++ {
+				nameEvents[chaosMetaGhost(i)] = []*chaosNameEvent{{client: -1, exists: false, start: initTime, end: initTime}}
+			}
+		} else {
+			for i := range paths {
+				paths[i] = fmt.Sprintf("chaos/f%d", i)
+				if _, err := d.FS.WriteFile(paths[i], []byte(chaosValue(-1, 0, o.ValueSize))); err != nil {
+					runErr = fmt.Errorf("chaos: seed %s: %w", paths[i], err)
+					return
+				}
+				writes[paths[i]] = []*chaosWrite{{client: -1, start: initTime, end: initTime}}
+			}
 		}
 		for i := range mounts {
 			// NoAC so the kernel client revalidates attributes on every
@@ -373,7 +410,11 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		for i := range mounts {
 			i := i
 			g.Go(fmt.Sprintf("chaos-%s", chaosHost(i)), func() {
-				logs[i] = chaosClientLoop(d, mounts[i], i, o, paths)
+				if o.Metadata {
+					metaLogs[i] = chaosMetaClientLoop(d, mounts[i], i, o, paths)
+				} else {
+					logs[i] = chaosClientLoop(d, mounts[i], i, o, paths)
+				}
 			})
 		}
 		g.Wait()
@@ -389,37 +430,70 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		return nil, runErr
 	}
 
-	// Merge write records into per-path history, then check every read.
-	for _, log := range logs {
-		for i := range log {
-			op := &log[i]
-			rep.Ops++
-			if op.err != nil {
-				rep.OpErrors++
-				if len(rep.ErrorSamples) < 10 {
-					rep.ErrorSamples = append(rep.ErrorSamples, fmt.Sprintf(
-						"%c %s at %v: %v", op.kind, op.path, op.end, op.err))
+	if o.Metadata {
+		// Merge namespace events into per-name history, then check every
+		// existence observation. Reads counts the checkable probes; Writes
+		// counts the successful state-establishing ops.
+		for _, log := range metaLogs {
+			for i := range log {
+				op := &log[i]
+				rep.Ops++
+				if op.err != nil {
+					rep.OpErrors++
+					if len(rep.ErrorSamples) < 10 {
+						rep.ErrorSamples = append(rep.ErrorSamples, fmt.Sprintf(
+							"%c %s at %v: %v", op.kind, op.name, op.end, op.err))
+					}
+				}
+				if op.probe {
+					rep.Reads++
+				} else if op.err == nil && len(op.events) > 0 {
+					rep.Writes++
+				}
+				for n, e := range op.events {
+					nameEvents[n] = append(nameEvents[n], e)
 				}
 			}
-			if op.kind == 'w' {
-				rep.Writes++
-				writes[op.path] = append(writes[op.path], op.wr)
-			}
 		}
-	}
-	for client, log := range logs {
+		for client, log := range metaLogs {
+			rep.Violations = append(rep.Violations,
+				checkMetaClientLog(client, log, nameEvents, nameLag, propLag)...)
+		}
 		rep.Violations = append(rep.Violations,
-			checkClientLog(client, log, writes, flushLag, propLag, o)...)
-		for i := range log {
-			if log[i].kind == 'r' {
-				rep.Reads++
+			checkFinalNameState(d, paths, nameEvents, nameLag)...)
+	} else {
+		// Merge write records into per-path history, then check every read.
+		for _, log := range logs {
+			for i := range log {
+				op := &log[i]
+				rep.Ops++
+				if op.err != nil {
+					rep.OpErrors++
+					if len(rep.ErrorSamples) < 10 {
+						rep.ErrorSamples = append(rep.ErrorSamples, fmt.Sprintf(
+							"%c %s at %v: %v", op.kind, op.path, op.end, op.err))
+					}
+				}
+				if op.kind == 'w' {
+					rep.Writes++
+					writes[op.path] = append(writes[op.path], op.wr)
+				}
 			}
 		}
-	}
-	if v, err := checkFinalServerState(d, paths, writes, flushLag); err != nil {
-		return nil, err
-	} else {
-		rep.Violations = append(rep.Violations, v...)
+		for client, log := range logs {
+			rep.Violations = append(rep.Violations,
+				checkClientLog(client, log, writes, flushLag, propLag, o)...)
+			for i := range log {
+				if log[i].kind == 'r' {
+					rep.Reads++
+				}
+			}
+		}
+		if v, err := checkFinalServerState(d, paths, writes, flushLag); err != nil {
+			return nil, err
+		} else {
+			rep.Violations = append(rep.Violations, v...)
+		}
 	}
 
 	// Attach the virtual-time span trace for every implicated path: a
@@ -464,6 +538,13 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		rep.ClientStats.UpstreamRetries += s.UpstreamRetries
 		rep.ClientStats.FlushErrors += s.FlushErrors
 		rep.ClientStats.ReadAheads += s.ReadAheads
+		rep.ClientStats.AttrHits += s.AttrHits
+		rep.ClientStats.DentryHits += s.DentryHits
+		rep.ClientStats.NegLookupHits += s.NegLookupHits
+		rep.ClientStats.AccessHits += s.AccessHits
+		rep.ClientStats.ListingHits += s.ListingHits
+		rep.ClientStats.MetaExpiries += s.MetaExpiries
+		rep.ClientStats.MetaEvictions += s.MetaEvictions
 	}
 	rep.ServerStats = sess.ProxyServer().Stats()
 	return rep, nil
@@ -522,6 +603,248 @@ func chaosWriteOp(m *Mount, p, val string) error {
 		return err
 	}
 	return f.Close() // Close syncs: the WRITE reaches the proxy here
+}
+
+// --- metadata chaos: namespace churn + existence checker --------------------
+
+// chaosMetaDir holds the contended name pool in metadata mode.
+const chaosMetaDir = "meta"
+
+func chaosMetaName(i int) string { return fmt.Sprintf("%s/n%02d", chaosMetaDir, i) }
+
+// chaosMetaGhosts is the number of names no client ever creates: probing
+// them exercises the negative-lookup cache on every schedule.
+const chaosMetaGhosts = 3
+
+func chaosMetaGhost(i int) string { return fmt.Sprintf("%s/ghost%02d", chaosMetaDir, i) }
+
+// chaosNameEvent records one state-establishing namespace operation on a
+// name: a create/rename-in makes it exist, an unlink/rename-out removes it.
+// Client -1 marks the initial server-side state. Failed ops are
+// indeterminate: their effect may still have landed (the op's request can
+// execute even when its reply is lost and retries surface an error), so
+// they stay plausible establishers forever but never exclude anything.
+type chaosNameEvent struct {
+	client     int
+	exists     bool
+	start, end time.Duration
+	failed     bool
+}
+
+// landEnd is the last virtual time at which e's effect can still reach the
+// server: namespace ops are write-through, so only the RPC retry window —
+// not a write-back flush — extends past the op's return.
+func (e *chaosNameEvent) landEnd(nameLag time.Duration) time.Duration {
+	if e.client < 0 {
+		return e.start
+	}
+	return e.end + nameLag
+}
+
+// chaosMetaOp is one recorded metadata operation.
+type chaosMetaOp struct {
+	kind       byte   // 'c' create, 'u' unlink, 'm' rename, 'p' stat, 'a' access, 'd' readdir
+	name       string // target (rename: source)
+	dest       string // rename destination
+	start, end time.Duration
+	err        error
+	probe      bool // op yielded a checkable existence observation
+	observed   bool // the observation: does name exist?
+	events     map[string]*chaosNameEvent
+}
+
+func isNoEnt(err error) bool {
+	var ne *nfs3.Error
+	return errors.As(err, &ne) && ne.Status == nfs3.ErrNoEnt
+}
+
+// chaosMetaClientLoop runs one client's random namespace schedule: ~25%
+// exclusive creates, 20% unlinks, 15% renames, 30% stat/access probes, 10%
+// readdir membership scans.
+func chaosMetaClientLoop(d *Deployment, m *Mount, client int, o ChaosOptions, names []string) []chaosMetaOp {
+	r := rand.New(rand.NewSource(o.Seed + 5000*int64(client+1)))
+	log := make([]chaosMetaOp, 0, o.Steps)
+	for step := 0; step < o.Steps; step++ {
+		n := names[r.Intn(len(names))]
+		op := chaosMetaOp{name: n, start: d.Clock.Now()}
+		switch roll := r.Intn(20); {
+		case roll < 5: // exclusive create
+			op.kind = 'c'
+			f, err := m.Client.Create(n, 0o644, true)
+			if err == nil {
+				err = f.Close()
+			}
+			op.err = err
+			op.end = d.Clock.Now()
+			op.events = map[string]*chaosNameEvent{n: {
+				client: client, exists: true,
+				start: op.start, end: op.end, failed: err != nil,
+			}}
+		case roll < 9: // unlink
+			op.kind = 'u'
+			op.err = m.Client.Remove(n)
+			op.end = d.Clock.Now()
+			op.events = map[string]*chaosNameEvent{n: {
+				client: client, exists: false,
+				start: op.start, end: op.end, failed: op.err != nil,
+			}}
+		case roll < 12: // rename: n vanishes, dest appears (replacing any old dest)
+			op.kind = 'm'
+			dst := names[r.Intn(len(names))]
+			for dst == n {
+				dst = names[r.Intn(len(names))]
+			}
+			op.dest = dst
+			op.err = m.Client.Rename(n, dst)
+			op.end = d.Clock.Now()
+			failed := op.err != nil
+			op.events = map[string]*chaosNameEvent{
+				n:   {client: client, exists: false, start: op.start, end: op.end, failed: failed},
+				dst: {client: client, exists: true, start: op.start, end: op.end, failed: failed},
+			}
+		case roll < 18: // existence probe via stat or access check
+			if roll == 17 {
+				// Ghost names are never created: their probes exercise the
+				// negative-lookup cache regardless of how the schedule
+				// churns the real pool.
+				op.name = chaosMetaGhost(r.Intn(chaosMetaGhosts))
+			}
+			// Prime, then observe back-to-back: the first call fills the
+			// dentry or negative cache so the recorded observation also
+			// exercises the hit path.
+			var err error
+			if roll&1 == 0 {
+				op.kind = 'p'
+				m.Client.Stat(op.name)
+				_, err = m.Client.Stat(op.name)
+			} else {
+				op.kind = 'a'
+				m.Client.Access(op.name, nfs3.AccessRead)
+				_, err = m.Client.Access(op.name, nfs3.AccessRead)
+			}
+			op.end = d.Clock.Now()
+			switch {
+			case err == nil:
+				op.probe, op.observed = true, true
+			case isNoEnt(err):
+				op.probe, op.observed = true, false
+			default:
+				op.err = err // indeterminate
+			}
+		default: // readdir membership scan
+			op.kind = 'd'
+			entries, err := m.Client.ReadDir(chaosMetaDir)
+			op.end = d.Clock.Now()
+			if err != nil {
+				op.err = err
+			} else {
+				op.probe = true
+				base := strings.TrimPrefix(n, chaosMetaDir+"/")
+				for _, e := range entries {
+					if e == base {
+						op.observed = true
+						break
+					}
+				}
+			}
+		}
+		log = append(log, op)
+		d.Clock.Sleep(500*time.Millisecond + time.Duration(r.Int63n(int64(o.OpGap))))
+	}
+	return log
+}
+
+// checkMetaClientLog validates one client's existence observations. An
+// observation S of a name over [ps, pe] is plausible iff some event w
+// establishes S with w.start <= pe and w is not provably superseded: a
+// successful anchor event a exists with a.start > w.landEnd where a is
+// either this client's own earlier op (read-your-writes — the proxy
+// applies namespace ops to its caches synchronously) or globally
+// propagated (a.landEnd + propLag <= ps). Failed events never anchor and
+// stay plausible forever, exactly as in the data checker.
+func checkMetaClientLog(client int, log []chaosMetaOp, events map[string][]*chaosNameEvent, nameLag, propLag time.Duration) []string {
+	var out []string
+	ownAnchor := map[string]time.Duration{}
+	anchorOf := func(n string, ps time.Duration) time.Duration {
+		anchor := farPast
+		if a, ok := ownAnchor[n]; ok && a > anchor {
+			anchor = a
+		}
+		for _, e := range events[n] {
+			if !e.failed && e.client >= 0 && e.landEnd(nameLag)+propLag <= ps && e.start > anchor {
+				anchor = e.start
+			}
+		}
+		return anchor
+	}
+	kindName := map[byte]string{'p': "stat", 'a': "access", 'd': "readdir"}
+	for i := range log {
+		op := &log[i]
+		if op.err == nil {
+			for n, e := range op.events {
+				if e.start > ownAnchor[n] {
+					ownAnchor[n] = e.start
+				}
+			}
+		}
+		if !op.probe {
+			continue
+		}
+		anchor := anchorOf(op.name, op.start)
+		plausible := false
+		for _, e := range events[op.name] {
+			if e.exists != op.observed || e.start > op.end {
+				continue
+			}
+			if e.failed || e.landEnd(nameLag) >= anchor {
+				plausible = true
+				break
+			}
+		}
+		if !plausible {
+			out = append(out, fmt.Sprintf(
+				"C%d %s %s at %v: observed exists=%v with no plausible establishing event (anchor %v)",
+				client+1, kindName[op.kind], op.name, op.end, op.observed, anchor))
+		}
+	}
+	return out
+}
+
+// checkFinalNameState verifies, after the drain, that each name's
+// server-side existence is established by some event no successful
+// opposite event provably supersedes.
+func checkFinalNameState(d *Deployment, names []string, events map[string][]*chaosNameEvent, nameLag time.Duration) []string {
+	var out []string
+	for _, n := range names {
+		_, err := d.FS.LookupPath(n)
+		exists := err == nil
+		plausible := false
+		for _, e := range events[n] {
+			if e.exists != exists {
+				continue
+			}
+			if e.failed {
+				plausible = true
+				break
+			}
+			superseded := false
+			for _, a := range events[n] {
+				if !a.failed && a.exists != exists && a.start > e.landEnd(nameLag) {
+					superseded = true
+					break
+				}
+			}
+			if !superseded {
+				plausible = true
+				break
+			}
+		}
+		if !plausible {
+			out = append(out, fmt.Sprintf(
+				"final %s: server exists=%v but every establishing event is superseded", n, exists))
+		}
+	}
+	return out
 }
 
 // checkClientLog validates one client's reads and stats against the

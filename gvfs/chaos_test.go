@@ -154,6 +154,53 @@ func TestChaosLossyLinksBothModels(t *testing.T) {
 	}
 }
 
+// TestChaosMetadataBothModels drives the namespace-churn workload —
+// exclusive creates, unlinks, renames, stat/access probes, readdir
+// membership scans — over the lossy fault profile in both consistency
+// models, and asserts the existence checker finds zero violations while
+// the dentry and negative-lookup caches demonstrably carried load.
+func TestChaosMetadataBothModels(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		model core.Model
+	}{
+		{"polling", core.ModelPolling},
+		{"delegation", core.ModelDelegation},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			seed := testSeed(t, 31)
+			rep, err := RunChaos(ChaosOptions{
+				Model:    mode.model,
+				Metadata: true,
+				Seed:     seed,
+				Faults:   lossyFaults(),
+			})
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if rep.OpErrors == rep.Ops {
+				t.Errorf("every one of %d ops errored — harness not exercising the stack", rep.Ops)
+			}
+			if rep.Reads == 0 {
+				t.Error("no checkable existence probes recorded")
+			}
+			if rep.Writes == 0 {
+				t.Error("no successful namespace mutations recorded")
+			}
+			cs := rep.ClientStats
+			if cs.DentryHits == 0 || cs.NegLookupHits == 0 {
+				t.Errorf("metadata caches idle under namespace churn: dentry=%d negative=%d",
+					cs.DentryHits, cs.NegLookupHits)
+			}
+			t.Logf("%s: %d ops (%d mutations, %d probes, %d errors), client %+v",
+				mode.name, rep.Ops, rep.Writes, rep.Reads, rep.OpErrors, cs)
+		})
+	}
+}
+
 // TestChaosLossyTraceDeterminism replays one lossy seed twice with full
 // trace capture and asserts the runs are byte-identical: same disruption
 // log, same retransmission work, same span dump for every path. The

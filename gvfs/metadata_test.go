@@ -1,0 +1,146 @@
+package gvfs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// metaWAN sums the wide-area RPCs a metadata workload generates. GETINV is
+// deliberately excluded: the polling model's whole point is that one GETINV
+// per window replaces per-object revalidation, so the invariant under test
+// is "metadata RPCs stay flat while GETINV ticks along at O(1) per window".
+func metaWAN(counts map[string]int64) int64 {
+	return counts["GETATTR"] + counts["LOOKUP"] + counts["ACCESS"] + counts["READDIR"]
+}
+
+// TestMetadataFastPathO1WANPerPollInterval is the tentpole assertion: after
+// one warm pass over a source tree, N further stats (plus access checks and
+// negative probes) must cost O(1) wide-area RPCs per poll interval — the
+// GETINV heartbeat — not O(N) revalidations. The same storm with the fast
+// path disabled must cost O(N), proving the measurement can tell the
+// difference. Runs under both consistency models: the fast path rides each
+// model's own invalidation channel, so the guarantee is model-invariant.
+func TestMetadataFastPathO1WANPerPollInterval(t *testing.T) {
+	storm := workload.StatStormConfig{Files: 40, Misses: 12, Passes: 1, Think: 500 * time.Millisecond}
+	models := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"polling", core.Config{Model: core.ModelPolling, PollPeriod: thirty}},
+		{"delegation", core.Config{Model: core.ModelDelegation}},
+	}
+	for _, tc := range models {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDeployment(t)
+			if err := workload.SetupStatTree(d.FS, storm); err != nil {
+				t.Fatal(err)
+			}
+			d.Run("storm", func() {
+				sess, err := d.NewSession("s", tc.cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// noac kernel mount: every stat, access check, and lookup
+				// reaches the proxy, so any absorption is the fast path's.
+				m, err := sess.Mount("C1", kernelNoac())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := workload.RunStatStorm(d.Clock, m.Client, storm); err != nil {
+					t.Errorf("warm pass: %v", err)
+					return
+				}
+				warm := metaWAN(m.WANCounts())
+				if warm == 0 {
+					t.Error("warm pass crossed no WAN metadata RPCs; measurement broken")
+					return
+				}
+
+				// The storm proper: several full passes over the warm tree.
+				passes := storm
+				passes.Passes = 4
+				st, err := workload.RunStatStorm(d.Clock, m.Client, passes)
+				if err != nil {
+					t.Errorf("storm: %v", err)
+					return
+				}
+				if got := metaWAN(m.WANCounts()); got != warm {
+					t.Errorf("warm-tree storm grew WAN metadata RPCs %d -> %d over %d stats; want O(1) per poll interval",
+						warm, got, st.Stats)
+				}
+
+				// Cross a poll boundary and storm again: still no metadata
+				// revalidation; under polling only GETINV may tick.
+				getinv := m.WANCounts()["GETINV"]
+				d.Clock.Sleep(thirty + time.Second)
+				if _, err := workload.RunStatStorm(d.Clock, m.Client, storm); err != nil {
+					t.Errorf("post-poll storm: %v", err)
+					return
+				}
+				if got := metaWAN(m.WANCounts()); got != warm {
+					t.Errorf("storm after poll boundary grew WAN metadata RPCs %d -> %d; want flat", warm, got)
+				}
+				if tc.cfg.Model == core.ModelPolling {
+					if got := m.WANCounts()["GETINV"]; got <= getinv {
+						t.Errorf("GETINV did not tick across the window: %d -> %d", getinv, got)
+					}
+				}
+
+				ps := m.Proxy.Stats()
+				if ps.AttrHits == 0 || ps.DentryHits == 0 || ps.NegLookupHits == 0 || ps.AccessHits == 0 {
+					t.Errorf("fast-path hits: attr=%d dentry=%d neg=%d access=%d; want all nonzero",
+						ps.AttrHits, ps.DentryHits, ps.NegLookupHits, ps.AccessHits)
+				}
+			})
+		})
+	}
+}
+
+// TestMetadataFastPathDisabledIsON proves the baseline the fast path is
+// measured against: with DisableMetaCache every warm-tree stat costs wide-area
+// RPCs proportional to the tree size.
+func TestMetadataFastPathDisabledIsON(t *testing.T) {
+	storm := workload.StatStormConfig{Files: 40, Misses: 12, Passes: 1, Think: 500 * time.Millisecond}
+	d := newDeployment(t)
+	if err := workload.SetupStatTree(d.FS, storm); err != nil {
+		t.Fatal(err)
+	}
+	d.Run("storm", func() {
+		sess, err := d.NewSession("s", core.Config{
+			Model: core.ModelPolling, PollPeriod: thirty, DisableMetaCache: true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m, err := sess.Mount("C1", kernelNoac())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := workload.RunStatStorm(d.Clock, m.Client, storm); err != nil {
+			t.Errorf("warm pass: %v", err)
+			return
+		}
+		warm := metaWAN(m.WANCounts())
+		st, err := workload.RunStatStorm(d.Clock, m.Client, storm)
+		if err != nil {
+			t.Errorf("storm: %v", err)
+			return
+		}
+		delta := metaWAN(m.WANCounts()) - warm
+		if delta < int64(storm.Files) {
+			t.Errorf("disabled-cache storm of %d stats crossed only %d WAN metadata RPCs; want O(N) >= %d",
+				st.Stats, delta, storm.Files)
+		}
+		ps := m.Proxy.Stats()
+		if ps.AttrHits != 0 || ps.DentryHits != 0 || ps.NegLookupHits != 0 || ps.AccessHits != 0 {
+			t.Errorf("disabled cache still served hits: %+v", ps)
+		}
+	})
+}

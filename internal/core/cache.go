@@ -4,26 +4,89 @@ import (
 	"container/list"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/nfs3"
+	"repro/internal/obs"
 )
 
 // sessionCache is the GVFS per-session client-side disk cache: file
 // attributes, directory lookup results, and data blocks, plus dirty-block
 // state for write-back sessions. Unlike the kernel client's caches, entries
-// carry no timeout — their validity is governed entirely by the session's
+// are by default not timed out — their validity is governed by the session's
 // consistency protocol (invalidation polling or delegation callbacks), which
-// is the heart of the paper's design.
+// is the heart of the paper's design. A session may additionally bound the
+// metadata caches with TTLs and capacity limits (metaPolicy); the proxy
+// enables TTLs only under the polling model, which already tolerates
+// staleness up to the poll window.
 type sessionCache struct {
 	bs int
 
-	mu       sync.Mutex
-	attrs    map[string]nfs3.Fattr  // FH key -> attributes (validity = presence)
+	mu  sync.Mutex
+	pol metaPolicy
+	// now reads the session's virtual clock for TTL stamps; nil freezes the
+	// clock at zero, which with zero TTLs reproduces the untimed behavior.
+	now func() time.Duration
+	met *metaCounters
+
+	attrs    map[string]attrEnt     // FH key -> attributes (validity = presence)
 	lookups  map[string]lookupEnt   // dir key + "\x00" + name -> child handle
 	files    map[string]*cachedFile // FH key -> data blocks
 	listings map[string]dirListing  // dir key -> complete directory listing
-	lru      *lruList
-	maxB     int64
+	// dirNames indexes the lookup cache by directory, so invalidating a
+	// directory handle flushes its dentries and negatives in one sweep.
+	dirNames map[string]map[string]bool
+
+	attrLRU, lookupLRU, listLRU *keyLRU
+
+	lru  *lruList
+	maxB int64
+}
+
+// metaPolicy bounds the metadata caches: TTLs in virtual time (0 = entries
+// live until the consistency protocol invalidates them) and per-cache entry
+// caps (0 = unbounded) enforced by LRU eviction.
+type metaPolicy struct {
+	attrTTL   time.Duration
+	dentryTTL time.Duration
+	negTTL    time.Duration
+
+	maxAttrs    int
+	maxDentries int
+	maxListings int
+}
+
+// metaCounters receives the cache-internal metadata events; any field (or
+// the whole struct) may be nil, which disables reporting.
+type metaCounters struct {
+	expiries   *obs.Counter // TTL expiries across all metadata caches
+	evictions  *obs.Counter // capacity evictions across all metadata caches
+	dirFlushes *obs.Counter // dentries+negatives flushed by a dir invalidation
+}
+
+func (m *metaCounters) expiry(n int64) {
+	if m != nil && m.expiries != nil && n > 0 {
+		m.expiries.Add(n)
+	}
+}
+
+func (m *metaCounters) eviction(n int64) {
+	if m != nil && m.evictions != nil && n > 0 {
+		m.evictions.Add(n)
+	}
+}
+
+func (m *metaCounters) dirFlush(n int64) {
+	if m != nil && m.dirFlushes != nil && n > 0 {
+		m.dirFlushes.Add(n)
+	}
+}
+
+// attrEnt is one cached attribute record, stamped with its fetch time so a
+// TTL policy can expire it.
+type attrEnt struct {
+	attr    nfs3.Fattr
+	fetched time.Duration
 }
 
 // dirListing caches a complete (single-page) READDIR result, tagged like
@@ -43,6 +106,7 @@ type lookupEnt struct {
 	// followed by revalidation of a *changed* directory cannot revive
 	// stale name resolutions.
 	dirMtime nfs3.Time
+	fetched  time.Duration
 }
 
 type cachedFile struct {
@@ -73,17 +137,81 @@ type cachedFile struct {
 
 func newSessionCache(blockSize int, maxBytes int64) *sessionCache {
 	return &sessionCache{
-		bs:       blockSize,
-		attrs:    make(map[string]nfs3.Fattr),
-		lookups:  make(map[string]lookupEnt),
-		files:    make(map[string]*cachedFile),
-		listings: make(map[string]dirListing),
-		lru:      newLRUList(),
-		maxB:     maxBytes,
+		bs:        blockSize,
+		attrs:     make(map[string]attrEnt),
+		lookups:   make(map[string]lookupEnt),
+		files:     make(map[string]*cachedFile),
+		listings:  make(map[string]dirListing),
+		dirNames:  make(map[string]map[string]bool),
+		attrLRU:   newKeyLRU(),
+		lookupLRU: newKeyLRU(),
+		listLRU:   newKeyLRU(),
+		lru:       newLRUList(),
+		maxB:      maxBytes,
 	}
 }
 
+// setMetaPolicy installs the session's metadata cache policy, clock, and
+// event counters. The proxy calls it at construction and again when it
+// adopts a surviving disk cache, whose previous owner's policy dies with it.
+func (sc *sessionCache) setMetaPolicy(now func() time.Duration, pol metaPolicy, met *metaCounters) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.now = now
+	sc.pol = pol
+	sc.met = met
+}
+
 // --- attributes ---------------------------------------------------------
+
+func (sc *sessionCache) nowLocked() time.Duration {
+	if sc.now == nil {
+		return 0
+	}
+	return sc.now()
+}
+
+// expiredLocked reports whether an entry fetched at the given stamp has
+// outlived ttl (0 disables the TTL).
+func (sc *sessionCache) expiredLocked(fetched, ttl time.Duration) bool {
+	return ttl > 0 && sc.nowLocked()-fetched >= ttl
+}
+
+// attrLocked returns the valid cached attributes for key, expiring a
+// TTL-stale entry on the way.
+func (sc *sessionCache) attrLocked(key string) (nfs3.Fattr, bool) {
+	ent, ok := sc.attrs[key]
+	if !ok {
+		return nfs3.Fattr{}, false
+	}
+	if sc.expiredLocked(ent.fetched, sc.pol.attrTTL) {
+		sc.delAttrLocked(key)
+		sc.met.expiry(1)
+		return nfs3.Fattr{}, false
+	}
+	sc.attrLRU.bump(key)
+	return ent.attr, true
+}
+
+// setAttrLocked installs attributes for key, evicting the least recently
+// used entry when the cache is over its cap.
+func (sc *sessionCache) setAttrLocked(key string, a nfs3.Fattr) {
+	sc.attrs[key] = attrEnt{attr: a, fetched: sc.nowLocked()}
+	sc.attrLRU.bump(key)
+	for sc.pol.maxAttrs > 0 && len(sc.attrs) > sc.pol.maxAttrs {
+		victim, ok := sc.attrLRU.evict()
+		if !ok {
+			break
+		}
+		delete(sc.attrs, victim)
+		sc.met.eviction(1)
+	}
+}
+
+func (sc *sessionCache) delAttrLocked(key string) {
+	delete(sc.attrs, key)
+	sc.attrLRU.remove(key)
+}
 
 // getAttr returns the cached attributes for fh, if valid. When the file has
 // buffered dirty data, the returned attributes are adjusted (size, perturbed
@@ -91,7 +219,7 @@ func newSessionCache(blockSize int, maxBytes int64) *sessionCache {
 func (sc *sessionCache) getAttr(fh nfs3.FH) (nfs3.Fattr, bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	a, ok := sc.attrs[fh.Key()]
+	a, ok := sc.attrLocked(fh.Key())
 	if !ok {
 		return nfs3.Fattr{}, false
 	}
@@ -125,16 +253,52 @@ func (sc *sessionCache) putAttr(fh nfs3.FH, a nfs3.Fattr) {
 			fc.size = a.Size
 		}
 	}
-	sc.attrs[key] = a
+	sc.setAttrLocked(key, a)
 }
 
 // invalidateAttr drops the attribute entry for fh, forcing revalidation on
 // next access. Data blocks are kept; they are reconciled against the next
-// server-observed attributes.
+// server-observed attributes. This is the callback-recall channel: recalls
+// are precise — destructive directory operations carry the removed name and
+// recall the victim handle separately — so the file's dentries need no
+// blanket flush here.
 func (sc *sessionCache) invalidateAttr(fh nfs3.FH) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	delete(sc.attrs, fh.Key())
+	sc.delAttrLocked(fh.Key())
+}
+
+// invalidateHandle serves the GETINV polling channel, which conveys only
+// handles — the client cannot tell which binding under a changed directory
+// moved. So besides the attributes, a directory's dentries, negatives, and
+// cached listing are all flushed: any binding observed under the old
+// contents is suspect. The flush granularity matches the invalidation
+// channel's granularity.
+func (sc *sessionCache) invalidateHandle(fh nfs3.FH) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	key := fh.Key()
+	sc.delAttrLocked(key)
+	sc.flushDirLocked(key)
+}
+
+// flushDirLocked drops every dentry, negative entry, and cached listing
+// hanging off the directory key.
+func (sc *sessionCache) flushDirLocked(dirKey string) {
+	names := sc.dirNames[dirKey]
+	for name := range names {
+		lk := dirKey + "\x00" + name
+		delete(sc.lookups, lk)
+		sc.lookupLRU.remove(lk)
+	}
+	if n := len(names); n > 0 {
+		sc.met.dirFlush(int64(n))
+	}
+	delete(sc.dirNames, dirKey)
+	if _, ok := sc.listings[dirKey]; ok {
+		delete(sc.listings, dirKey)
+		sc.listLRU.remove(dirKey)
+	}
 }
 
 // invalidateAllAttrs implements the force-invalidate flag: the entire
@@ -142,9 +306,13 @@ func (sc *sessionCache) invalidateAttr(fh nfs3.FH) {
 func (sc *sessionCache) invalidateAllAttrs() {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	sc.attrs = make(map[string]nfs3.Fattr)
+	sc.attrs = make(map[string]attrEnt)
 	sc.lookups = make(map[string]lookupEnt)
 	sc.listings = make(map[string]dirListing)
+	sc.dirNames = make(map[string]map[string]bool)
+	sc.attrLRU = newKeyLRU()
+	sc.lookupLRU = newKeyLRU()
+	sc.listLRU = newKeyLRU()
 }
 
 // forget removes every trace of fh (REMOVE, stale handle).
@@ -152,7 +320,8 @@ func (sc *sessionCache) forget(fh nfs3.FH) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	key := fh.Key()
-	delete(sc.attrs, key)
+	sc.delAttrLocked(key)
+	sc.flushDirLocked(key)
 	if fc, ok := sc.files[key]; ok {
 		sc.dropCleanLocked(key, fc)
 		delete(sc.files, key)
@@ -177,17 +346,28 @@ func cacheLookupKey(dir nfs3.FH, name string) string { return dir.Key() + "\x00"
 func (sc *sessionCache) getLookup(dir nfs3.FH, name string) (fh nfs3.FH, negative, ok bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	dirAttr, dirValid := sc.attrs[dir.Key()]
+	dirAttr, dirValid := sc.attrLocked(dir.Key())
 	if !dirValid {
 		return nfs3.FH{}, false, false
 	}
-	ent, ok := sc.lookups[cacheLookupKey(dir, name)]
+	lk := cacheLookupKey(dir, name)
+	ent, ok := sc.lookups[lk]
 	if !ok {
+		return nfs3.FH{}, false, false
+	}
+	ttl := sc.pol.dentryTTL
+	if ent.negative {
+		ttl = sc.pol.negTTL
+	}
+	if sc.expiredLocked(ent.fetched, ttl) {
+		sc.dropLookupKeyLocked(dir.Key(), name)
+		sc.met.expiry(1)
 		return nfs3.FH{}, false, false
 	}
 	if ent.negative && ent.dirMtime != dirAttr.Mtime {
 		return nfs3.FH{}, false, false
 	}
+	sc.lookupLRU.bump(lk)
 	return ent.fh, ent.negative, true
 }
 
@@ -205,11 +385,48 @@ func (sc *sessionCache) putNegLookup(dir nfs3.FH, name string) {
 func (sc *sessionCache) putLookupEnt(dir nfs3.FH, name string, fh nfs3.FH, negative bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	dirAttr, dirValid := sc.attrs[dir.Key()]
+	dirKey := dir.Key()
+	dirAttr, dirValid := sc.attrLocked(dirKey)
 	if !dirValid {
 		return
 	}
-	sc.lookups[cacheLookupKey(dir, name)] = lookupEnt{fh: fh, negative: negative, dirMtime: dirAttr.Mtime}
+	lk := cacheLookupKey(dir, name)
+	sc.lookups[lk] = lookupEnt{
+		fh: fh, negative: negative, dirMtime: dirAttr.Mtime, fetched: sc.nowLocked(),
+	}
+	names := sc.dirNames[dirKey]
+	if names == nil {
+		names = make(map[string]bool)
+		sc.dirNames[dirKey] = names
+	}
+	names[name] = true
+	sc.lookupLRU.bump(lk)
+	for sc.pol.maxDentries > 0 && len(sc.lookups) > sc.pol.maxDentries {
+		victim, ok := sc.lookupLRU.evict()
+		if !ok {
+			break
+		}
+		delete(sc.lookups, victim)
+		if d, n, split := splitLookupKey(victim); split {
+			if ns := sc.dirNames[d]; ns != nil {
+				delete(ns, n)
+				if len(ns) == 0 {
+					delete(sc.dirNames, d)
+				}
+			}
+		}
+		sc.met.eviction(1)
+	}
+}
+
+// splitLookupKey recovers (dir key, name) from a lookup cache key.
+func splitLookupKey(lk string) (dirKey, name string, ok bool) {
+	for i := len(lk) - 1; i >= 0; i-- {
+		if lk[i] == 0 {
+			return lk[:i], lk[i+1:], true
+		}
+	}
+	return "", "", false
 }
 
 // putDirListing caches a complete directory listing observed alongside the
@@ -217,13 +434,23 @@ func (sc *sessionCache) putLookupEnt(dir nfs3.FH, name string, fh nfs3.FH, negat
 func (sc *sessionCache) putDirListing(dir nfs3.FH, entries []nfs3.DirEntry) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	dirAttr, ok := sc.attrs[dir.Key()]
+	dirKey := dir.Key()
+	dirAttr, ok := sc.attrLocked(dirKey)
 	if !ok {
 		return
 	}
 	cp := make([]nfs3.DirEntry, len(entries))
 	copy(cp, entries)
-	sc.listings[dir.Key()] = dirListing{entries: cp, dirMtime: dirAttr.Mtime}
+	sc.listings[dirKey] = dirListing{entries: cp, dirMtime: dirAttr.Mtime}
+	sc.listLRU.bump(dirKey)
+	for sc.pol.maxListings > 0 && len(sc.listings) > sc.pol.maxListings {
+		victim, ok := sc.listLRU.evict()
+		if !ok {
+			break
+		}
+		delete(sc.listings, victim)
+		sc.met.eviction(1)
+	}
 }
 
 // getDirListing returns the cached complete listing if it is still coherent
@@ -231,21 +458,35 @@ func (sc *sessionCache) putDirListing(dir nfs3.FH, entries []nfs3.DirEntry) {
 func (sc *sessionCache) getDirListing(dir nfs3.FH) ([]nfs3.DirEntry, bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	dirAttr, ok := sc.attrs[dir.Key()]
+	dirKey := dir.Key()
+	dirAttr, ok := sc.attrLocked(dirKey)
 	if !ok {
 		return nil, false
 	}
-	l, ok := sc.listings[dir.Key()]
+	l, ok := sc.listings[dirKey]
 	if !ok || l.dirMtime != dirAttr.Mtime {
 		return nil, false
 	}
+	sc.listLRU.bump(dirKey)
 	return l.entries, true
 }
 
 func (sc *sessionCache) dropLookup(dir nfs3.FH, name string) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	delete(sc.lookups, cacheLookupKey(dir, name))
+	sc.dropLookupKeyLocked(dir.Key(), name)
+}
+
+func (sc *sessionCache) dropLookupKeyLocked(dirKey, name string) {
+	lk := dirKey + "\x00" + name
+	delete(sc.lookups, lk)
+	sc.lookupLRU.remove(lk)
+	if ns := sc.dirNames[dirKey]; ns != nil {
+		delete(ns, name)
+		if len(ns) == 0 {
+			delete(sc.dirNames, dirKey)
+		}
+	}
 }
 
 // --- data blocks ----------------------------------------------------------
@@ -338,7 +579,7 @@ func (sc *sessionCache) updateAfterWrite(fh nfs3.FH, wcc nfs3.WccData) {
 			fc.size = after.Size
 		}
 	}
-	sc.attrs[key] = after
+	sc.setAttrLocked(key, after)
 }
 
 // writeDirty buffers a write locally (write-back / write delegation),
@@ -544,7 +785,7 @@ func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, after nfs3.Po
 			fc.localChange = 0
 			fc.size = after.Attr.Size
 		}
-		sc.attrs[key] = after.Attr
+		sc.setAttrLocked(key, after.Attr)
 	}
 	sc.evictLocked()
 }
@@ -665,6 +906,48 @@ func (l *lruList) evict() (file string, block uint64, ok bool) {
 	delete(l.index, ref.key)
 	l.bytes -= int64(ref.size)
 	return ref.key.file, ref.key.block, true
+}
+
+// --- entry-count LRU over string-keyed metadata caches --------------------
+
+// keyLRU orders string keys by recency for the metadata caches' capacity
+// eviction. Unlike lruList it counts entries, not bytes: metadata records
+// are small and uniform.
+type keyLRU struct {
+	order *list.List
+	index map[string]*list.Element
+}
+
+func newKeyLRU() *keyLRU {
+	return &keyLRU{order: list.New(), index: make(map[string]*list.Element)}
+}
+
+// bump inserts key at the front, or moves an existing key there.
+func (l *keyLRU) bump(key string) {
+	if el, ok := l.index[key]; ok {
+		l.order.MoveToFront(el)
+		return
+	}
+	l.index[key] = l.order.PushFront(key)
+}
+
+func (l *keyLRU) remove(key string) {
+	if el, ok := l.index[key]; ok {
+		l.order.Remove(el)
+		delete(l.index, key)
+	}
+}
+
+// evict removes and returns the least recently used key.
+func (l *keyLRU) evict() (string, bool) {
+	el := l.order.Back()
+	if el == nil {
+		return "", false
+	}
+	key := el.Value.(string)
+	l.order.Remove(el)
+	delete(l.index, key)
+	return key, true
 }
 
 func sortUint64(s []uint64) {

@@ -73,6 +73,31 @@ type Config struct {
 	// (Section 4.3.3). Default 65536.
 	MaxOpenFiles int
 
+	// AttrTTL, DentryTTL, and NegDentryTTL bound how long the metadata fast
+	// path may serve cached attributes, directory entries, and negative
+	// (NOENT) entries without revalidation, in virtual time. The TTLs are
+	// honored only under ModelPolling, which already tolerates staleness up
+	// to the poll window; a delegation session's entries are valid exactly
+	// as long as the delegation is held, so adding a timer there would
+	// weaken nothing and save nothing. 0 disables the TTL: validity is then
+	// governed purely by the invalidation protocol. Default 0.
+	AttrTTL      time.Duration
+	DentryTTL    time.Duration
+	NegDentryTTL time.Duration
+
+	// MaxAttrEntries, MaxDentries, and MaxDirListings cap the metadata
+	// caches; past the cap the least recently used entry is evicted.
+	// Defaults 65536, 65536, and 1024; negative values remove the bound.
+	MaxAttrEntries int
+	MaxDentries    int
+	MaxDirListings int
+
+	// DisableMetaCache turns the metadata fast path off: GETATTR, LOOKUP,
+	// ACCESS, and READDIR always cross the wide area. Attributes are still
+	// recorded from replies — the data path's block reconciliation depends
+	// on them — but never served. This is the caches-off ablation baseline.
+	DisableMetaCache bool
+
 	// BlockSize is the disk cache block size. Default 32 KiB, matching the
 	// evaluation's transfer size.
 	BlockSize int
@@ -186,6 +211,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxOpenFiles == 0 {
 		c.MaxOpenFiles = 65536
 	}
+	if c.MaxAttrEntries == 0 {
+		c.MaxAttrEntries = 65536
+	}
+	if c.MaxDentries == 0 {
+		c.MaxDentries = 65536
+	}
+	if c.MaxDirListings == 0 {
+		c.MaxDirListings = 1024
+	}
 	if c.BlockSize == 0 {
 		c.BlockSize = 32 * 1024
 	}
@@ -214,6 +248,29 @@ func (c Config) withDefaults() Config {
 		c.DRCEntries = 512
 	}
 	return c
+}
+
+// metaPolicy derives the session cache's metadata bounds from the config:
+// capacity caps always apply; TTLs only under the polling model (see the
+// AttrTTL field docs).
+func (c Config) metaPolicy() metaPolicy {
+	cap := func(n int) int {
+		if n < 0 {
+			return 0 // unbounded
+		}
+		return n
+	}
+	pol := metaPolicy{
+		maxAttrs:    cap(c.MaxAttrEntries),
+		maxDentries: cap(c.MaxDentries),
+		maxListings: cap(c.MaxDirListings),
+	}
+	if c.Model == ModelPolling {
+		pol.attrTTL = c.AttrTTL
+		pol.dentryTTL = c.DentryTTL
+		pol.negTTL = c.NegDentryTTL
+	}
+	return pol
 }
 
 // applyRetransmit installs the session's retransmission policy on an RPC

@@ -57,6 +57,18 @@ type clientMetrics struct {
 	renewBypass        *obs.Counter
 	pollCapped         *obs.Counter
 
+	// Metadata fast path: per-cache local serves, plus the session cache's
+	// bookkeeping events (TTL expiries, capacity evictions, whole-directory
+	// flushes on invalidation).
+	attrHits      *obs.Counter
+	dentryHits    *obs.Counter
+	negHits       *obs.Counter
+	accessHits    *obs.Counter
+	listingHits   *obs.Counter
+	metaExpiries  *obs.Counter
+	metaEvictions *obs.Counter
+	metaDirFlush  *obs.Counter
+
 	flushInflight  *obs.Gauge
 	getinvBatch    *obs.Histogram
 	forwardLatency *obs.Histogram
@@ -79,6 +91,14 @@ func newClientMetrics(reg *obs.Registry, node string) *clientMetrics {
 		readaheadJoins:     reg.Counter(l("gvfs_client_readahead_joins_total")),
 		renewBypass:        reg.Counter(l("gvfs_client_deleg_renew_bypass_total")),
 		pollCapped:         reg.Counter(l("gvfs_client_poll_capped_total")),
+		attrHits:           reg.Counter(obs.Label(l("gvfs_client_meta_hits_total"), "cache", "attr")),
+		dentryHits:         reg.Counter(obs.Label(l("gvfs_client_meta_hits_total"), "cache", "dentry")),
+		negHits:            reg.Counter(obs.Label(l("gvfs_client_meta_hits_total"), "cache", "negative")),
+		accessHits:         reg.Counter(obs.Label(l("gvfs_client_meta_hits_total"), "cache", "access")),
+		listingHits:        reg.Counter(obs.Label(l("gvfs_client_meta_hits_total"), "cache", "listing")),
+		metaExpiries:       reg.Counter(l("gvfs_client_meta_expiries_total")),
+		metaEvictions:      reg.Counter(l("gvfs_client_meta_evictions_total")),
+		metaDirFlush:       reg.Counter(l("gvfs_client_meta_dir_flushes_total")),
 		flushInflight:      reg.Gauge(l("gvfs_client_flush_inflight")),
 		getinvBatch:        reg.Histogram(l("gvfs_client_getinv_batch"), obs.CountBuckets),
 		forwardLatency:     reg.Histogram(l("gvfs_client_forward_latency"), obs.DurationBuckets),
@@ -86,6 +106,15 @@ func newClientMetrics(reg *obs.Registry, node string) *clientMetrics {
 		cacheLookups:       reg.Gauge(l("gvfs_client_cache_lookups")),
 		cacheFiles:         reg.Gauge(l("gvfs_client_cache_files")),
 		cacheBytes:         reg.Gauge(l("gvfs_client_cache_bytes")),
+	}
+}
+
+// metaCounters exposes the session cache's slice of the client metrics.
+func (m *clientMetrics) metaCounters() *metaCounters {
+	return &metaCounters{
+		expiries:   m.metaExpiries,
+		evictions:  m.metaEvictions,
+		dirFlushes: m.metaDirFlush,
 	}
 }
 

@@ -74,6 +74,21 @@ type ProxyClientStats struct {
 	// pipeline (each is one wide-area READ the kernel never waited a full
 	// round-trip for).
 	ReadAheads int64
+
+	// Metadata fast path: local serves broken out by cache. AttrHits are
+	// GETATTRs answered from the attribute cache, DentryHits positive
+	// LOOKUPs, NegLookupHits cached NOENTs, AccessHits permission checks
+	// computed from cached attributes, ListingHits READDIRs served from a
+	// cached complete listing.
+	AttrHits      int64
+	DentryHits    int64
+	NegLookupHits int64
+	AccessHits    int64
+	ListingHits   int64
+	// MetaExpiries counts TTL expirations, MetaEvictions capacity evictions
+	// in the metadata caches.
+	MetaExpiries  int64
+	MetaEvictions int64
 }
 
 // fetchKey identifies one block of one file for prefetch coordination.
@@ -116,6 +131,7 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 	}
 	p.node = o.Node("proxyc:" + name)
 	p.met = newClientMetrics(o.Registry(), name)
+	p.cache.setMetaPolicy(clk.Now, cfg.metaPolicy(), p.met.metaCounters())
 	// Upstream call spans (the wide-area round trips) are recorded at this
 	// proxy's node, nested under the kernel request via the shared ID.
 	upstream.SetObs(p.node, RPCName)
@@ -208,6 +224,7 @@ func (p *ProxyClient) AdoptCache(c *SessionCacheState) {
 	if c != nil && c.cache != nil {
 		p.cache = c.cache
 		p.cache.bs = p.cfg.BlockSize
+		p.cache.setMetaPolicy(p.clk.Now, p.cfg.metaPolicy(), p.met.metaCounters())
 		// The previous owner's in-flight WRITEs and prefetch READs died with
 		// its process; stale marks would wedge flushing forever.
 		p.cache.clearInFlight()
@@ -298,6 +315,13 @@ func (p *ProxyClient) Stats() ProxyClientStats {
 		UpstreamRetries:    p.met.upstreamRetries.Value(),
 		FlushErrors:        p.met.flushErrors.Value(),
 		ReadAheads:         p.met.readAheads.Value(),
+		AttrHits:           p.met.attrHits.Value(),
+		DentryHits:         p.met.dentryHits.Value(),
+		NegLookupHits:      p.met.negHits.Value(),
+		AccessHits:         p.met.accessHits.Value(),
+		ListingHits:        p.met.listingHits.Value(),
+		MetaExpiries:       p.met.metaExpiries.Value(),
+		MetaEvictions:      p.met.metaEvictions.Value(),
 	}
 }
 
@@ -451,9 +475,11 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 			p.met.forceInvalidations.Inc()
 			gotAny = true
 		default:
-			// 3) Invalidate the concerned files.
+			// 3) Invalidate the concerned files. Directories flush their
+			// cached name resolutions too: GETINV carries no names, so every
+			// binding observed under the old contents is suspect.
 			for _, fh := range res.Handles {
-				p.cache.invalidateAttr(fh)
+				p.cache.invalidateHandle(fh)
 			}
 			if len(res.Handles) > 0 {
 				gotAny = true
@@ -825,7 +851,9 @@ func (p *ProxyClient) serveNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 		return p.readdirplus(call)
 	case nfs3.ProcCommit:
 		return p.commit(call)
-	case nfs3.ProcAccess, nfs3.ProcReadlink, nfs3.ProcFsstat, nfs3.ProcFsinfo:
+	case nfs3.ProcAccess:
+		return p.access(call)
+	case nfs3.ProcReadlink, nfs3.ProcFsstat, nfs3.ProcFsinfo:
 		return p.passthrough(call)
 	default:
 		return sunrpc.ProcUnavail
@@ -843,8 +871,9 @@ func (p *ProxyClient) getattr(call *sunrpc.Call) sunrpc.AcceptStat {
 		return sunrpc.GarbageArgs
 	}
 	call.SpanFH = args.FH.String()
-	if p.servable(args.FH) {
+	if !p.cfg.DisableMetaCache && p.servable(args.FH) {
 		if a, ok := p.cache.getAttr(args.FH); ok {
+			p.met.attrHits.Inc()
 			p.hitLocal(call)
 			return encodeReply(call, &nfs3.GetattrRes{Status: nfs3.OK, Attr: a})
 		}
@@ -870,12 +899,13 @@ func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
 		return sunrpc.GarbageArgs
 	}
 	call.SpanFH = args.Dir.String()
-	if p.servable(args.Dir) {
+	if !p.cfg.DisableMetaCache && p.servable(args.Dir) {
 		if childFH, negative, ok := p.cache.getLookup(args.Dir, args.Name); ok {
 			dirAttr, dirOK := p.cache.getAttr(args.Dir)
 			if negative && dirOK {
 				// A cached NOENT: the per-file checks the kernel keeps
 				// issuing for absent names are filtered out locally.
+				p.met.negHits.Inc()
 				p.hitLocal(call)
 				return encodeReply(call, &nfs3.LookupRes{
 					Status:  nfs3.ErrNoEnt,
@@ -887,6 +917,7 @@ func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
 				// the binding's continued existence) are only trustworthy
 				// while a delegation on the child is held.
 				if childAttr, ok2 := p.cache.getAttr(childFH); ok2 {
+					p.met.dentryHits.Inc()
 					p.hitLocal(call)
 					return encodeReply(call, &nfs3.LookupRes{
 						Status:  nfs3.OK,
@@ -1386,9 +1417,10 @@ func (p *ProxyClient) readdir(call *sunrpc.Call) sunrpc.AcceptStat {
 	call.SpanFH = args.Dir.String()
 	// Serve complete cached listings that fit one reply; pagination always
 	// forwards, since upstream cookies are opaque to us.
-	if args.Cookie == 0 && p.servable(args.Dir) {
+	if args.Cookie == 0 && !p.cfg.DisableMetaCache && p.servable(args.Dir) {
 		if entries, ok := p.cache.getDirListing(args.Dir); ok {
 			if dirAttr, ok2 := p.cache.getAttr(args.Dir); ok2 && listingFits(entries, args.Count) {
+				p.met.listingHits.Inc()
 				p.hitLocal(call)
 				return encodeReply(call, &nfs3.ReaddirRes{
 					Status:     nfs3.OK,
@@ -1467,6 +1499,46 @@ func (p *ProxyClient) commit(call *sunrpc.Call) sunrpc.AcceptStat {
 		return encodeReply(call, &nfs3.CommitRes{Status: nfs3.ErrJukebox})
 	}
 	p.hitForward(call)
+	return encodeReply(call, &res)
+}
+
+// access answers an ACCESS check locally when the model allows it:
+// permission bits are a pure function of the file's attributes and the
+// caller's identity (nfs3.AccessForAttr), so servable cached attributes
+// answer the check without a wide-area round trip. The identity comes from
+// the kernel's AUTH_SYS credential — which the loopback mount carries —
+// and defaults to root for other flavors, matching the open-export policy
+// the server applies to non-AUTH_SYS callers.
+func (p *ProxyClient) access(call *sunrpc.Call) sunrpc.AcceptStat {
+	var args nfs3.AccessArgs
+	if args.Decode(call.Args) != nil {
+		return sunrpc.GarbageArgs
+	}
+	call.SpanFH = args.FH.String()
+	if !p.cfg.DisableMetaCache && p.servable(args.FH) {
+		if a, ok := p.cache.getAttr(args.FH); ok {
+			uid, gid, idOK := call.Cred.SysIdentity()
+			if !idOK {
+				uid, gid = 0, 0
+			}
+			p.met.accessHits.Inc()
+			p.hitLocal(call)
+			return encodeReply(call, &nfs3.AccessRes{
+				Status: nfs3.OK,
+				Attr:   nfs3.PostOpAttr{Present: true, Attr: a},
+				Access: nfs3.AccessForAttr(a, uid, gid, args.Access),
+			})
+		}
+	}
+	var res nfs3.AccessRes
+	if _, err := p.callUpstream(call.ReqID, nfs3.ProcAccess, &args, &res); err != nil {
+		return encodeReply(call, &nfs3.AccessRes{Status: nfs3.ErrJukebox})
+	}
+	p.hitForward(call)
+	p.noteForward(args.FH)
+	if res.Status == nfs3.OK && res.Attr.Present {
+		p.cache.putAttr(args.FH, res.Attr.Attr)
+	}
 	return encodeReply(call, &res)
 }
 

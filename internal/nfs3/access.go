@@ -1,0 +1,45 @@
+package nfs3
+
+// AccessForAttr evaluates an ACCESS request against a file's attributes for
+// the given identity, returning the subset of req that is granted. It is the
+// shared permission model of the NFS server and of the proxy client's local
+// ACCESS fast path: both must compute the same answer, or caching the check
+// would change visible semantics.
+//
+// The rules are classic Unix mode-bit evaluation. Root (uid 0) is granted
+// everything it asks for. Otherwise the owner, group, or other permission
+// triplet applies, chosen by uid/gid match. DELETE is approximated as write
+// permission on the object itself — the caller would need the parent
+// directory's attributes for the exact answer, and NFSv3 clients treat the
+// bit as advisory anyway (RFC 1813 section 3.3.4 allows the server to grant
+// conservatively).
+func AccessForAttr(attr Fattr, uid, gid uint32, req uint32) uint32 {
+	if uid == 0 {
+		return req
+	}
+	var perm uint32
+	switch {
+	case uid == attr.UID:
+		perm = attr.Mode >> 6
+	case gid == attr.GID:
+		perm = attr.Mode >> 3
+	default:
+		perm = attr.Mode
+	}
+	perm &= 7
+	var granted uint32
+	if perm&4 != 0 {
+		granted |= AccessRead
+	}
+	if perm&2 != 0 {
+		granted |= AccessModify | AccessExtend | AccessDelete
+	}
+	if perm&1 != 0 {
+		if attr.Type == TypeDir {
+			granted |= AccessLookup
+		} else {
+			granted |= AccessExecute
+		}
+	}
+	return granted & req
+}

@@ -380,6 +380,29 @@ func (c *Client) Stat(path string) (nfs3.Fattr, error) {
 	return c.getattr(fh, false)
 }
 
+// Access asks the server which of the requested permission bits (nfs3.Access*)
+// are granted at path, returning the granted subset. Like a noac Linux mount,
+// the check always issues the ACCESS RPC — the kernel cannot evaluate server-
+// side policy itself — which is exactly the per-call metadata tax the proxy's
+// local ACCESS fast path absorbs.
+func (c *Client) Access(path string, mask uint32) (uint32, error) {
+	fh, err := c.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.conn.Access(fh, mask)
+	if err != nil {
+		return 0, err
+	}
+	if res.Attr.Present {
+		c.cacheAttrs(fh, res.Attr.Attr)
+	}
+	if res.Status != nfs3.OK {
+		return 0, nfsErr(nfs3.ProcAccess, res.Status)
+	}
+	return res.Access, nil
+}
+
 // Mkdir creates a directory.
 func (c *Client) Mkdir(path string, mode uint32) error {
 	dir, name, err := c.resolveDir(path)

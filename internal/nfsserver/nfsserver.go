@@ -282,11 +282,16 @@ func (s *Server) access(call *sunrpc.Call) sunrpc.AcceptStat {
 		res.Status = st
 		return reply(call, &res)
 	}
-	// The export is open to all authenticated principals; ACLs are disabled
-	// in the paper's setup.
 	res.Status = nfs3.OK
 	res.Attr = s.postOp(id)
 	res.Access = args.Access
+	if uid, gid, ok := call.Cred.SysIdentity(); ok && res.Attr.Present {
+		// AUTH_SYS callers get mode-bit evaluation. Other flavors — the
+		// GVFS session credential in particular — arrive over a channel the
+		// middleware already authenticated, and the export carries no ACLs
+		// beyond the mode bits, so they keep the open-export answer.
+		res.Access = nfs3.AccessForAttr(res.Attr.Attr, uid, gid, args.Access)
+	}
 	return reply(call, &res)
 }
 

@@ -91,6 +91,28 @@ func SysCred(machine string, uid, gid uint32) Cred {
 	return Cred{Flavor: AuthSys, Body: e.Bytes()}
 }
 
+// SysIdentity decodes the uid/gid of an AUTH_SYS credential. ok is false
+// for other flavors or a malformed body; callers then apply their own
+// policy for the unauthenticated or middleware-authenticated cases.
+func (c Cred) SysIdentity() (uid, gid uint32, ok bool) {
+	if c.Flavor != AuthSys {
+		return 0, 0, false
+	}
+	d := xdr.NewDecoder(c.Body)
+	if _, err := d.Uint32(); err != nil { // stamp
+		return 0, 0, false
+	}
+	if _, err := d.String(maxCred); err != nil { // machine name
+		return 0, 0, false
+	}
+	if uid, err := d.Uint32(); err == nil {
+		if gid, err := d.Uint32(); err == nil {
+			return uid, gid, true
+		}
+	}
+	return 0, 0, false
+}
+
 // maxCred bounds credential bodies (RFC 5531 limits them to 400 bytes).
 const maxCred = 400
 

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/nfs3"
+	"repro/internal/nfsclient"
+	"repro/internal/vclock"
+)
+
+// StatStormConfig parameterizes the build-like metadata workload: repeated
+// passes over a warm source tree, each pass statting every file, checking
+// read permission on it, and probing a set of absent names — the dependency
+// scan a build system runs before deciding nothing is out of date. Data is
+// never read; the workload is pure metadata, the per-call wide-area tax the
+// client metadata fast path exists to absorb.
+type StatStormConfig struct {
+	// Files is the tree size. Default 200.
+	Files int
+	// Misses is the number of absent names probed per pass (configure-style
+	// existence checks; the dominant probe in build workloads). Default 50.
+	Misses int
+	// Passes is how many times the tree is scanned. Default 5.
+	Passes int
+	// Think is the modeled CPU time between passes. Default 1 s.
+	Think time.Duration
+	Seed  int64
+}
+
+func (c StatStormConfig) withDefaults() StatStormConfig {
+	if c.Files == 0 {
+		c.Files = 200
+	}
+	if c.Misses == 0 {
+		c.Misses = 50
+	}
+	if c.Passes == 0 {
+		c.Passes = 5
+	}
+	if c.Think == 0 {
+		c.Think = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// StatStormStats summarizes one storm.
+type StatStormStats struct {
+	Stats    int // successful Stat calls
+	Accesses int // successful Access checks
+	Misses   int // absent-name probes answered NOENT
+	Elapsed  time.Duration
+}
+
+// StatStormDir is the tree root used by SetupStatTree/RunStatStorm.
+const StatStormDir = "stattree"
+
+// statStormName returns the i-th file name of the tree.
+func statStormName(i int) string { return fmt.Sprintf("%s/s%05d", StatStormDir, i) }
+
+// SetupStatTree creates the warm tree directly in the server filesystem.
+func SetupStatTree(fs *memfs.FS, cfg StatStormConfig) error {
+	cfg = cfg.withDefaults()
+	for i := 0; i < cfg.Files; i++ {
+		if _, err := fs.WriteFile(statStormName(i), synthData(cfg.Seed+int64(i), 256)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunStatStorm scans the tree cfg.Passes times through a mounted client:
+// list the directory, stat and access-check every file, then probe absent
+// names. Every operation must succeed (or return NOENT for the probes); the
+// counts are returned for the caller's RPC accounting.
+func RunStatStorm(clk *vclock.Clock, c *nfsclient.Client, cfg StatStormConfig) (StatStormStats, error) {
+	cfg = cfg.withDefaults()
+	var st StatStormStats
+	start := clk.Now()
+	for pass := 0; pass < cfg.Passes; pass++ {
+		names, err := c.ReadDir(StatStormDir)
+		if err != nil {
+			return st, fmt.Errorf("pass %d: scan tree: %w", pass, err)
+		}
+		if len(names) < cfg.Files {
+			return st, fmt.Errorf("pass %d: tree has %d files, want %d", pass, len(names), cfg.Files)
+		}
+		for _, n := range names {
+			path := StatStormDir + "/" + n
+			if _, err := c.Stat(path); err != nil {
+				return st, fmt.Errorf("pass %d: stat %s: %w", pass, path, err)
+			}
+			st.Stats++
+			granted, err := c.Access(path, nfs3.AccessRead)
+			if err != nil {
+				return st, fmt.Errorf("pass %d: access %s: %w", pass, path, err)
+			}
+			if granted&nfs3.AccessRead == 0 {
+				return st, fmt.Errorf("pass %d: access %s: read denied", pass, path)
+			}
+			st.Accesses++
+		}
+		for i := 0; i < cfg.Misses; i++ {
+			probe := fmt.Sprintf("%s/missing%04d.h", StatStormDir, i)
+			_, err := c.Stat(probe)
+			if err == nil {
+				return st, fmt.Errorf("pass %d: probe %s unexpectedly exists", pass, probe)
+			}
+			var nerr *nfs3.Error
+			if !errors.As(err, &nerr) || nerr.Status != nfs3.ErrNoEnt {
+				return st, fmt.Errorf("pass %d: probe %s: %w", pass, probe, err)
+			}
+			st.Misses++
+		}
+		compute(clk, cfg.Think)
+	}
+	st.Elapsed = clk.Now() - start
+	return st, nil
+}

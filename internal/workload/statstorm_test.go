@@ -1,0 +1,35 @@
+package workload_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nfsclient"
+	"repro/internal/workload"
+)
+
+func TestStatStormRunsOnDirectNFS(t *testing.T) {
+	d := newDeployment(t)
+	cfg := workload.StatStormConfig{Files: 25, Misses: 10, Passes: 3, Think: 100 * time.Millisecond}
+	if err := workload.SetupStatTree(d.FS, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d.Run("statstorm", func() {
+		m, err := d.DirectMount("C1", nfsclient.Options{AttrMin: thirty, AttrMax: thirty})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		st, err := workload.RunStatStorm(d.Clock, m.Client, cfg)
+		if err != nil {
+			t.Errorf("statstorm: %v", err)
+			return
+		}
+		if st.Stats != 25*3 || st.Accesses != 25*3 || st.Misses != 10*3 {
+			t.Errorf("stats = %+v", st)
+		}
+		if st.Elapsed < 300*time.Millisecond {
+			t.Errorf("elapsed %v below the modeled think time alone", st.Elapsed)
+		}
+	})
+}
