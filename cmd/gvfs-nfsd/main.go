@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/memfs"
@@ -31,14 +32,16 @@ func main() {
 	listen := flag.String("listen", ":2049", "TCP listen address")
 	seed := flag.String("seed", "", "optional local directory to pre-populate the export from")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
+	workers := flag.Int("workers", runtime.NumCPU()*4, "request worker-pool size (0 = unbounded legacy spawn)")
+	queueDepth := flag.Int("queue-depth", 0, "per-client queue bound (0 = scheduler default)")
 	flag.Parse()
-	if err := run(*listen, *seed, *metrics); err != nil {
+	if err := run(*listen, *seed, *metrics, *workers, *queueDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-nfsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, seed, metrics string) error {
+func run(listen, seed, metrics string, workers, queueDepth int) error {
 	clk := vclock.NewReal()
 	mfs := memfs.New(clk.Now)
 	if seed != "" {
@@ -51,6 +54,9 @@ func run(listen, seed, metrics string) error {
 	srv.Register(rpcSrv)
 	o := obs.New(clk.Now, 4096)
 	rpcSrv.SetObs(o.Node("nfsd"), core.RPCName)
+	// Pool only, no admission control: this server may face clients with no
+	// retransmission policy, so it must never shed.
+	rpcSrv.SetSched(sunrpc.SchedConfig{Workers: workers, QueueDepth: queueDepth})
 	if metrics != "" {
 		go func() {
 			log.Printf("gvfs-nfsd: metrics on http://%s/metrics", metrics)

@@ -16,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -36,16 +37,18 @@ func main() {
 	writeback := flag.Bool("writeback", false, "enable write-back caching")
 	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
+	workers := flag.Int("workers", runtime.NumCPU()*4, "callback-service worker-pool size (0 = unbounded legacy spawn)")
+	queueDepth := flag.Int("queue-depth", 0, "callback-service queue bound (0 = scheduler default)")
 	flag.Parse()
 
-	if err := run(*listen, *cbListen, *cbAddr, *upstream, *model, *id, *session, *writeback, *poll, *metrics); err != nil {
+	if err := run(*listen, *cbListen, *cbAddr, *upstream, *model, *id, *session, *writeback, *poll, *metrics, *workers, *queueDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-proxyc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, cbListen, cbAddr, upstream, model, id, session string, writeback bool, poll time.Duration, metrics string) error {
-	cfg := core.Config{PollPeriod: poll, WriteBack: writeback}
+func run(listen, cbListen, cbAddr, upstream, model, id, session string, writeback bool, poll time.Duration, metrics string, workers, queueDepth int) error {
+	cfg := core.Config{PollPeriod: poll, WriteBack: writeback, ServerWorkers: workers, ServerQueueDepth: queueDepth}
 	switch model {
 	case "polling":
 		cfg.Model = core.ModelPolling

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gvfs-proxyd [-listen :3049] [-upstream localhost:2049] [-model polling|delegation]
+//	            [-workers N] [-queue-depth N] [-rate-limit ops] [-client-rate-limit ops]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -30,16 +32,27 @@ func main() {
 	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
 	expiry := flag.Duration("deleg-expiry", 10*time.Minute, "delegation expiration period")
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
+	workers := flag.Int("workers", runtime.NumCPU()*4, "request worker-pool size (0 = unbounded legacy spawn)")
+	queueDepth := flag.Int("queue-depth", 0, "per-client queue bound (0 = scheduler default)")
+	rateLimit := flag.Float64("rate-limit", 0, "global admission rate in ops/sec (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 0, "global admission burst (0 = scheduler default)")
+	clientRate := flag.Float64("client-rate-limit", 0, "per-client admission rate in ops/sec (0 = unlimited)")
+	clientBurst := flag.Float64("client-rate-burst", 0, "per-client admission burst (0 = scheduler default)")
 	flag.Parse()
 
-	if err := run(*listen, *upstream, *model, *poll, *expiry, *metrics); err != nil {
+	cfg := core.Config{
+		ServerWorkers: *workers, ServerQueueDepth: *queueDepth,
+		RateLimitOps: *rateLimit, RateLimitBurst: *rateBurst,
+		ClientRateLimitOps: *clientRate, ClientRateLimitBurst: *clientBurst,
+	}
+	if err := run(*listen, *upstream, *model, *poll, *expiry, *metrics, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-proxyd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, upstream, model string, poll, expiry time.Duration, metrics string) error {
-	cfg := core.Config{PollPeriod: poll, DelegExpiry: expiry}
+func run(listen, upstream, model string, poll, expiry time.Duration, metrics string, cfg core.Config) error {
+	cfg.PollPeriod, cfg.DelegExpiry = poll, expiry
 	switch model {
 	case "polling":
 		cfg.Model = core.ModelPolling

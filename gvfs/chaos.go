@@ -85,6 +85,13 @@ type ChaosOptions struct {
 	// ChaosReport.Traces, not just paths implicated in a violation — for
 	// replay-determinism assertions and offline inspection.
 	TraceAll bool
+	// Overload runs the session's proxy server with a bounded scheduling
+	// layer (small worker pool, global token-bucket admission) and opens
+	// every client's op schedule with a synchronized burst fan-in of cold
+	// reads, so the server provably sheds load (TRY_LATER) while the
+	// at-least-once machinery absorbs it. Clients defaults to 6 in this
+	// mode.
+	Overload bool
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -93,6 +100,9 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	}
 	if o.Clients == 0 {
 		o.Clients = 2
+		if o.Overload {
+			o.Clients = 6
+		}
 	}
 	if o.Steps == 0 {
 		o.Steps = 120
@@ -169,6 +179,26 @@ func NewChaosPlan(o ChaosOptions) ChaosPlan {
 
 func chaosHost(i int) string { return fmt.Sprintf("C%d", i+1) }
 
+// chaosBurstFiles is how many cold files each client reads back-to-back in
+// the Overload mode's opening burst fan-in.
+const chaosBurstFiles = 6
+
+func chaosBurstPath(client, k int) string {
+	return fmt.Sprintf("burst/%s_%d", chaosHost(client), k)
+}
+
+// chaosBurstFanIn slams the proxy server with back-to-back cold reads from
+// one client; run concurrently by every client it overdraws the Overload
+// admission bucket by an order of magnitude, forcing sheds. Errors are
+// ignored — the burst is load, not an observation (a read that exhausts its
+// retransmission window under heavy shedding is the overload behaving as
+// designed).
+func chaosBurstFanIn(m *Mount, client int) {
+	for k := 0; k < chaosBurstFiles; k++ {
+		m.Client.ReadFile(chaosBurstPath(client, k))
+	}
+}
+
 // ChaosReport summarizes a chaos run for assertions and debugging.
 type ChaosReport struct {
 	Plan     ChaosPlan
@@ -204,6 +234,9 @@ type ChaosReport struct {
 	// requests answered from a server's reply cache instead of re-executed.
 	Retransmits int64
 	DRCHits     int64
+	// Sheds totals gvfs_server_shed_total across every node: requests the
+	// bounded scheduling layer answered with TRY_LATER (Overload mode).
+	Sheds int64
 }
 
 // traceSpans bounds how many spans a per-path violation trace retains.
@@ -295,6 +328,15 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 	if o.Model == core.ModelPolling {
 		cfg.WriteBack = true
 	}
+	if o.Overload {
+		// Bounded server: a two-worker pool and a global admission bucket
+		// sized well below the opening burst fan-in, so the run provably
+		// sheds (gvfs_server_shed_total > 0) and every shed is absorbed by
+		// same-XID retransmission.
+		cfg.ServerWorkers = 2
+		cfg.RateLimitOps = 25
+		cfg.RateLimitBurst = 10
+	}
 	// rpcSlack: up to 3 rawCall attempts (timeout + redial pause) plus margin.
 	rpcSlack := 3*(cfg.CallTimeout+time.Second) + 5*time.Second
 	// flushLag: how long after an op returns its data can still land on the
@@ -364,6 +406,19 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 				writes[paths[i]] = []*chaosWrite{{client: -1, start: initTime, end: initTime}}
 			}
 		}
+		if o.Overload {
+			// Per-client cold files for the opening burst fan-in: distinct
+			// paths so the burst is pure server load, invisible to the
+			// consistency checker.
+			for i := 0; i < o.Clients; i++ {
+				for k := 0; k < chaosBurstFiles; k++ {
+					if _, err := d.FS.WriteFile(chaosBurstPath(i, k), []byte("burst")); err != nil {
+						runErr = fmt.Errorf("chaos: seed burst file: %w", err)
+						return
+					}
+				}
+			}
+		}
 		for i := range mounts {
 			// NoAC so the kernel client revalidates attributes on every
 			// access: observed staleness is then purely the proxies'.
@@ -410,6 +465,9 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		for i := range mounts {
 			i := i
 			g.Go(fmt.Sprintf("chaos-%s", chaosHost(i)), func() {
+				if o.Overload {
+					chaosBurstFanIn(mounts[i], i)
+				}
 				if o.Metadata {
 					metaLogs[i] = chaosMetaClientLoop(d, mounts[i], i, o, paths)
 				} else {
@@ -524,6 +582,7 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 	rep.Metrics = d.PublishMetrics()
 	rep.Retransmits = rep.Metrics.SumCounters("gvfs_rpc_retransmits_total")
 	rep.DRCHits = rep.Metrics.SumCounters("gvfs_rpc_drc_hits_total")
+	rep.Sheds = rep.Metrics.SumCounters("gvfs_server_shed_total")
 
 	rep.NetEvents = d.Net.Events()
 	rep.NetStats = d.Net.TotalStats()

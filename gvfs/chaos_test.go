@@ -201,6 +201,100 @@ func TestChaosMetadataBothModels(t *testing.T) {
 	}
 }
 
+// TestChaosOverloadBothModels runs the burst fan-in overload schedule over
+// lossy links with the proxy server bounded (two workers, a global admission
+// bucket an order of magnitude below the opening burst): the server must
+// provably shed load, the at-least-once machinery must absorb the sheds, and
+// the visibility rules must survive untouched in both models.
+func TestChaosOverloadBothModels(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		model core.Model
+	}{
+		{"polling", core.ModelPolling},
+		{"delegation", core.ModelDelegation},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			seed := testSeed(t, 404)
+			rep, err := RunChaos(ChaosOptions{
+				Model:    mode.model,
+				Overload: true,
+				Seed:     seed,
+				Faults:   lossyFaults(),
+			})
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			for p, trace := range rep.Traces {
+				t.Logf("span trace for %s:\n%s", p, trace)
+			}
+			if rep.Sheds == 0 {
+				t.Error("bounded server shed nothing under burst fan-in: overload mode inert")
+			}
+			if rep.Retransmits == 0 {
+				t.Error("no same-XID retransmissions despite sheds and lossy links")
+			}
+			if rep.OpErrors == rep.Ops {
+				t.Errorf("every one of %d ops errored — harness not exercising the stack", rep.Ops)
+			}
+			t.Logf("%s: %d ops (%d errors), %d sheds, %d retransmits, %d DRC hits",
+				mode.name, rep.Ops, rep.OpErrors, rep.Sheds, rep.Retransmits, rep.DRCHits)
+		})
+	}
+}
+
+// TestChaosOverloadTraceDeterminism replays one overload seed twice with full
+// trace capture: the scheduling layer (queue order, shed decisions, slot
+// yields) must be as deterministic as everything beneath it — same shed
+// count, same retransmission work, byte-identical span dumps.
+func TestChaosOverloadTraceDeterminism(t *testing.T) {
+	seed := testSeed(t, 505)
+	opts := ChaosOptions{
+		Model:    core.ModelPolling,
+		Overload: true,
+		Steps:    60,
+		Seed:     seed,
+		Faults:   lossyFaults(),
+		TraceAll: true,
+	}
+	r1, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := RunChaos(opts)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	for _, rep := range []*ChaosReport{r1, r2} {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if r1.Sheds == 0 {
+		t.Error("no sheds in an overload run")
+	}
+	if r1.Sheds != r2.Sheds || r1.Retransmits != r2.Retransmits || r1.DRCHits != r2.DRCHits {
+		t.Errorf("scheduling work differs across replays: %d/%d sheds, %d/%d retransmits, %d/%d DRC hits",
+			r1.Sheds, r2.Sheds, r1.Retransmits, r2.Retransmits, r1.DRCHits, r2.DRCHits)
+	}
+	if len(r1.Traces) != len(r2.Traces) {
+		t.Fatalf("trace sets differ: %d vs %d paths", len(r1.Traces), len(r2.Traces))
+	}
+	for p, tr1 := range r1.Traces {
+		tr2, ok := r2.Traces[p]
+		if !ok {
+			t.Errorf("path %s traced in run 1 only", p)
+			continue
+		}
+		if tr1 != tr2 {
+			t.Errorf("trace for %s differs between identically seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", p, tr1, tr2)
+		}
+	}
+}
+
 // TestChaosLossyTraceDeterminism replays one lossy seed twice with full
 // trace capture and asserts the runs are byte-identical: same disruption
 // log, same retransmission work, same span dump for every path. The

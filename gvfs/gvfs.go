@@ -57,6 +57,13 @@ type Config struct {
 	ServerHost string
 	// TraceRing bounds each node's span ring buffer (default 4096 spans).
 	TraceRing int
+	// NFSSched bounds the kernel NFS server's request scheduling (worker
+	// pool, per-client DRR queues — see sunrpc.SchedConfig). The zero value
+	// keeps the legacy unbounded per-request dispatch. Leave the rate limits
+	// zero unless every client of the export retransmits: a TRY_LATER shed
+	// is absorbed transparently only by clients with a retransmit policy,
+	// and direct kernel mounts have none.
+	NFSSched sunrpc.SchedConfig
 }
 
 // Deployment is a file server plus a (simulated) network that sessions and
@@ -109,6 +116,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	nfsSrv.Register(rpcSrv)
 	o := obs.New(clk.Now, cfg.TraceRing)
 	rpcSrv.SetObs(o.Node("nfsd"), core.RPCName)
+	rpcSrv.SetSched(cfg.NFSSched)
 	net.SetObs(o.Registry())
 
 	d := &Deployment{
@@ -192,6 +200,12 @@ func (d *Deployment) NewGroup() *vclock.Group { return d.Clock.NewGroup() }
 // by procedure name — the server-load metric of the paper's evaluation.
 func (d *Deployment) ServerCounts() map[string]int64 {
 	return translateCounts(d.rpcSrv.Counts())
+}
+
+// NFSInflight reports the kernel NFS server's current and peak concurrently
+// executing handlers (zero when NFSSched leaves it unscheduled).
+func (d *Deployment) NFSInflight() (running, peak int) {
+	return d.rpcSrv.Inflight()
 }
 
 // Close shuts everything down.

@@ -158,6 +158,28 @@ type Config struct {
 	// callback service). Negative disables the cache. Default 512.
 	DRCEntries int
 
+	// ServerWorkers bounds how many request handlers the proxy server (and
+	// the proxy client's callback service) run concurrently: requests beyond
+	// the pool wait in per-client FIFO queues drained by byte-costed deficit
+	// round-robin, so one hot mount cannot starve the rest. 0 keeps the
+	// legacy unbounded per-request dispatch; negative also means unbounded
+	// but allows the rate limits below to stand alone.
+	ServerWorkers int
+	// ServerQueueDepth bounds each client's queue; a full queue sheds its
+	// oldest request with a retryable TRY_LATER the retransmitting client
+	// absorbs. Default 256 (only meaningful with ServerWorkers > 0).
+	ServerQueueDepth int
+	// RateLimitOps/RateLimitBurst configure the proxy server's global
+	// token-bucket admission controller in requests/second; excess load is
+	// shed with TRY_LATER before it consumes a worker. 0 disables.
+	RateLimitOps   float64
+	RateLimitBurst float64
+	// ClientRateLimitOps/ClientRateLimitBurst configure an identical bucket
+	// per client, so shedding lands on the client causing the overload
+	// instead of whoever arrives next. 0 disables.
+	ClientRateLimitOps   float64
+	ClientRateLimitBurst float64
+
 	// UIDMap and GIDMap translate the client domain's numeric identities
 	// into the server domain's before requests cross the wide area — the
 	// cross-domain identity mapping the paper's middleware performs.
@@ -271,6 +293,45 @@ func (c Config) metaPolicy() metaPolicy {
 		pol.negTTL = c.NegDentryTTL
 	}
 	return pol
+}
+
+// callbackSchedConfig derives the scheduling configuration for the proxy
+// client's callback service: the worker pool and queue bound apply (a recall
+// storm must not spawn unbounded handlers), but the admission rate limits do
+// not — shedding a recall only delays the conflicting request that issued it,
+// and the pool already provides the back-pressure.
+func (c Config) callbackSchedConfig() sunrpc.SchedConfig {
+	sc := c.schedConfig()
+	sc.RateLimit = 0
+	sc.RateBurst = 0
+	sc.ClientRate = 0
+	sc.ClientBurst = 0
+	return sc
+}
+
+// schedConfig derives the sunrpc scheduling configuration for the session's
+// servers. Fairness keys come from the AuthGVFS session credential when
+// present (stable across a client's reconnects), falling back to the
+// connection's remote address.
+func (c Config) schedConfig() sunrpc.SchedConfig {
+	workers := c.ServerWorkers
+	if workers < 0 {
+		workers = 0
+	}
+	return sunrpc.SchedConfig{
+		Workers:     workers,
+		QueueDepth:  c.ServerQueueDepth,
+		RateLimit:   c.RateLimitOps,
+		RateBurst:   c.RateLimitBurst,
+		ClientRate:  c.ClientRateLimitOps,
+		ClientBurst: c.ClientRateLimitBurst,
+		ClientName: func(cred sunrpc.Cred, remote string) string {
+			if sc, err := DecodeSessionCred(cred); err == nil && sc.ClientID != "" {
+				return sc.ClientID
+			}
+			return remote
+		},
+	}
 }
 
 // applyRetransmit installs the session's retransmission policy on an RPC

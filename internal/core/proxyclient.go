@@ -24,6 +24,11 @@ type ProxyClient struct {
 
 	cache *sessionCache
 	srv   *sunrpc.Server
+	// cbSrv serves the GVFS callback program on its own server so the
+	// bounded scheduling pool applies to recall traffic without ever
+	// shedding or queueing the kernel's loopback NFS calls (the kernel
+	// client has no TRY_LATER retransmit path).
+	cbSrv *sunrpc.Server
 	// redial re-establishes the upstream connection after a failure
 	// (server restart, healed partition); nil disables reconnection.
 	redial func() (*sunrpc.Client, error)
@@ -41,6 +46,16 @@ type ProxyClient struct {
 	lastInvTS    uint64
 	pollWindow   time.Duration
 	stopped      bool
+
+	// Background write-backs triggered by recalls with large dirty sets.
+	// Each recall used to spawn its own flush actor, so a recall storm (a
+	// flood of conflicting requests during a flush) meant unbounded
+	// concurrent flushers; the FIFO bounds them at recallFlushWorkers
+	// drainers. recallFlushMax records the concurrency high-water for the
+	// regression test.
+	recallFlushQ   []recallFlushReq
+	recallFlushers int
+	recallFlushMax int
 
 	// node records this proxy's trace spans; met holds its registry series.
 	// Counters are the single source of truth — ProxyClientStats is now a
@@ -97,6 +112,73 @@ type fetchKey struct {
 	bn uint64
 }
 
+// recallFlushReq is one queued background write-back (recall with a large
+// dirty set); rid is the recall's trace ID so the flush WRITEs join its
+// causal chain.
+type recallFlushReq struct {
+	rid uint64
+	fh  nfs3.FH
+}
+
+// recallFlushWorkers bounds concurrent background recall flushers; the
+// per-file WRITE pipelining inside flushFile already provides parallelism,
+// so a small pool drains a storm without flooding the upstream link.
+const recallFlushWorkers = 2
+
+// queueRecallFlush schedules a background write-back of fh's remaining dirty
+// blocks, starting a drainer actor only while fewer than recallFlushWorkers
+// are running. A flush already queued for the same file is coalesced: one
+// flushFile pass writes back every dirty block the file has by then.
+func (p *ProxyClient) queueRecallFlush(rid uint64, fh nfs3.FH) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	for _, r := range p.recallFlushQ {
+		if r.fh.Key() == fh.Key() {
+			p.mu.Unlock()
+			return
+		}
+	}
+	p.recallFlushQ = append(p.recallFlushQ, recallFlushReq{rid: rid, fh: fh})
+	if p.recallFlushers >= recallFlushWorkers {
+		p.mu.Unlock()
+		return
+	}
+	p.recallFlushers++
+	if p.recallFlushers > p.recallFlushMax {
+		p.recallFlushMax = p.recallFlushers
+	}
+	p.mu.Unlock()
+	p.clk.Go("gvfs-recall-flush:"+p.cred.ClientID, p.drainRecallFlushes)
+}
+
+// drainRecallFlushes runs queued background flushes until the FIFO empties,
+// then exits (the next recall restarts a drainer).
+func (p *ProxyClient) drainRecallFlushes() {
+	for {
+		p.mu.Lock()
+		if len(p.recallFlushQ) == 0 || p.stopped {
+			p.recallFlushers--
+			p.mu.Unlock()
+			return
+		}
+		req := p.recallFlushQ[0]
+		p.recallFlushQ = p.recallFlushQ[1:]
+		p.mu.Unlock()
+		p.flushFile(req.rid, req.fh, 0, false)
+	}
+}
+
+// RecallFlushHighWater reports the peak number of concurrent background
+// recall flushers observed, for tests asserting the bound.
+func (p *ProxyClient) RecallFlushHighWater() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.recallFlushMax
+}
+
 // NewProxyClient builds a proxy client over an established upstream RPC
 // connection (to the proxy server, or directly to an NFS server for
 // pass-through operation). The session credential is attached to every
@@ -112,6 +194,7 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 		accum:        make(map[uint64]int64),
 		cache:        newSessionCache(cfg.BlockSize, cfg.CacheBytes),
 		srv:          sunrpc.NewServer(clk),
+		cbSrv:        sunrpc.NewServer(clk),
 		delegs:       make(map[string]DelegType),
 		noncacheable: make(map[string]bool),
 		lastForward:  make(map[string]time.Duration),
@@ -136,12 +219,16 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 	// proxy's node, nested under the kernel request via the shared ID.
 	upstream.SetObs(p.node, RPCName)
 	cfg.applyRetransmit(upstream)
-	// The callback service must be replay-safe too: a recall the server
-	// retransmits may not flush (or fence) twice.
 	p.srv.SetDRCSize(cfg.DRCEntries)
 	p.srv.Register(nfs3.Program, nfs3.Version, p.dispatchNFS)
 	p.srv.Register(nfs3.MountProgram, nfs3.MountVersion, p.dispatchMount)
-	p.srv.Register(CallbackProgram, CallbackVersion, p.dispatchCallback)
+	// The callback service must be replay-safe too: a recall the server
+	// retransmits may not flush (or fence) twice. It also runs behind the
+	// bounded scheduling pool (rate limits elided — see callbackSchedConfig)
+	// so a recall storm cannot spawn unbounded handlers.
+	p.cbSrv.SetDRCSize(cfg.DRCEntries)
+	p.cbSrv.SetSched(cfg.callbackSchedConfig())
+	p.cbSrv.Register(CallbackProgram, CallbackVersion, p.dispatchCallback)
 	return p
 }
 
@@ -245,7 +332,7 @@ func (p *ProxyClient) CacheState() *SessionCacheState {
 func (p *ProxyClient) Serve(nfsListener, cbListener transport.Listener) {
 	p.srv.Serve(nfsListener)
 	if cbListener != nil {
-		p.srv.Serve(cbListener)
+		p.cbSrv.Serve(cbListener)
 	}
 	if p.cfg.Model == ModelPolling {
 		p.clk.GoDaemon("gvfs-poll:"+p.cred.ClientID, p.pollLoop)
@@ -288,6 +375,7 @@ func (p *ProxyClient) Stop() {
 	p.mu.Unlock()
 	p.flushAll(0)
 	p.srv.Close()
+	p.cbSrv.Close()
 	p.upstream().Close()
 }
 
@@ -299,6 +387,7 @@ func (p *ProxyClient) Crash() {
 	p.stopped = true
 	p.mu.Unlock()
 	p.srv.Close()
+	p.cbSrv.Close()
 	p.upstream().Close()
 }
 
@@ -1628,9 +1717,7 @@ func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
 			for _, bn := range p.cache.dirtyBlocks(args.FH) {
 				res.Pending = append(res.Pending, bn*bs)
 			}
-			fh := args.FH
-			rid := call.ReqID
-			p.clk.Go("gvfs-recall-flush", func() { p.flushFile(rid, fh, 0, false) })
+			p.queueRecallFlush(call.ReqID, args.FH)
 		} else {
 			// Small dirty set: write everything back before replying, with
 			// the WRITEs pipelined up to FlushParallelism deep.

@@ -158,6 +158,7 @@ func NewProxyServer(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, dial
 	s.up.SetObs(s.node, RPCName)
 	cfg.applyRetransmit(upstream)
 	s.srv.SetDRCSize(cfg.DRCEntries)
+	s.srv.SetSched(cfg.schedConfig())
 	s.srv.Register(nfs3.Program, nfs3.Version, s.dispatchNFS)
 	s.srv.Register(nfs3.MountProgram, nfs3.MountVersion, s.forwardRaw(nfs3.MountProgram, nfs3.MountVersion))
 	s.srv.Register(InvProgram, InvVersion, s.dispatchInv)
@@ -231,6 +232,12 @@ func (s *ProxyServer) PublishMetrics() {
 	}
 	s.met.invBufferOcc.Set(int64(buffered))
 	s.met.openFiles.Set(int64(len(s.files)))
+}
+
+// Inflight reports the proxy server's current and peak concurrently
+// executing request handlers (zero when Config leaves it unscheduled).
+func (s *ProxyServer) Inflight() (running, peak int) {
+	return s.srv.Inflight()
 }
 
 // StateSize reports the delegation table's size (files, sharer entries).

@@ -53,7 +53,9 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 	if s.cfg.ProxyDelay > 0 {
 		s.clk.Sleep(s.cfg.ProxyDelay)
 	}
-	s.waitGrace()
+	// Grace parking can outlast a whole recovery round; yield the worker slot
+	// (if the server runs a bounded pool) so parked requests don't starve it.
+	call.Yield(s.waitGrace)
 	client := s.ensureClient(call.Cred)
 
 	argBytes := remainingBytes(call.Args)
@@ -86,7 +88,7 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 	var trailers Trailers
 	if s.cfg.Model == ModelDelegation {
 		for _, a := range info.accesses {
-			deleg, cacheable, _, seq := s.handleAccess(call.ReqID, client, a)
+			deleg, cacheable, _, seq := s.handleAccess(call.ReqID, client, a, call.Yield)
 			trailers = append(trailers, Trailer{Deleg: deleg, Cacheable: cacheable, FH: a.fh, Seq: seq})
 		}
 	} else if !info.primary.IsZero() {
@@ -113,7 +115,7 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 			// that the operation is durable.
 			for _, a := range info.accesses {
 				if a.write {
-					s.revokeOthers(call.ReqID, client, a)
+					s.revokeOthers(call.ReqID, client, a, call.Yield)
 				}
 			}
 		}
@@ -124,7 +126,7 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 			if fh, isWrite, ok := postPrimary(call.Proc, replyBytes); ok {
 				a := accessReq{fh: fh, write: isWrite}
 				if s.cfg.Model == ModelDelegation {
-					deleg, cacheable, recalled, seq := s.handleAccess(call.ReqID, client, a)
+					deleg, cacheable, recalled, seq := s.handleAccess(call.ReqID, client, a, call.Yield)
 					if recalled {
 						// The reply in hand predates the recall-triggered
 						// write-back; withholding the delegation forces the
@@ -351,8 +353,11 @@ func (s *ProxyServer) fileForLocked(fh nfs3.FH) *fileState {
 // handleAccess records a client's access to a file, recalls conflicting
 // delegations (blocking until the callbacks complete, as the paper's
 // conflicting request does), and returns the delegation granted to this
-// client along with the cacheability decision.
-func (s *ProxyServer) handleAccess(rid uint64, client *clientState, a accessReq) (granted DelegType, cacheable, recalled bool, seq uint64) {
+// client along with the cacheability decision. The blocking recall section
+// runs inside yield (when non-nil): a recalled client writes dirty data back
+// through this same server, so a bounded worker pool must release the slot
+// while the callback is in flight or the write-backs deadlock behind it.
+func (s *ProxyServer) handleAccess(rid uint64, client *clientState, a accessReq, yield func(func())) (granted DelegType, cacheable, recalled bool, seq uint64) {
 	id := client.rec.ID
 	now := s.clk.Now()
 
@@ -420,21 +425,30 @@ func (s *ProxyServer) handleAccess(rid uint64, client *clientState, a accessReq)
 
 	// Issue the callbacks without holding the lock: the recalled clients
 	// will write dirty data back through this same server.
-	for _, r := range recalls {
-		res := s.callbackRecall(rid, r.c, r.args)
-		s.mu.Lock()
-		r.sh.deleg = DelegNone
-		if res == nil && r.args.Deleg == DelegWrite {
-			r.sh.lostRecall = true
-		}
-		if res != nil && len(res.Pending) > 0 {
-			r.sh.pending = make(map[uint64]bool, len(res.Pending))
-			bs := uint64(s.cfg.BlockSize)
-			for _, off := range res.Pending {
-				r.sh.pending[off/bs*bs] = true
+	if len(recalls) > 0 {
+		issue := func() {
+			for _, r := range recalls {
+				res := s.callbackRecall(rid, r.c, r.args)
+				s.mu.Lock()
+				r.sh.deleg = DelegNone
+				if res == nil && r.args.Deleg == DelegWrite {
+					r.sh.lostRecall = true
+				}
+				if res != nil && len(res.Pending) > 0 {
+					r.sh.pending = make(map[uint64]bool, len(res.Pending))
+					bs := uint64(s.cfg.BlockSize)
+					for _, off := range res.Pending {
+						r.sh.pending[off/bs*bs] = true
+					}
+				}
+				s.mu.Unlock()
 			}
 		}
-		s.mu.Unlock()
+		if yield != nil {
+			yield(issue)
+		} else {
+			issue()
+		}
 	}
 
 	// Grant decision (Section 4.3.1).
@@ -479,7 +493,9 @@ func (s *ProxyServer) handleAccess(rid uint64, client *clientState, a accessReq)
 
 // revokeOthers recalls every delegation other clients hold on a.fh; used
 // after a destructive operation commits to catch grants that raced with it.
-func (s *ProxyServer) revokeOthers(rid uint64, client *clientState, a accessReq) {
+// As in handleAccess, the recall fan-out runs inside yield so a bounded
+// worker pool keeps serving the write-backs the recalls trigger.
+func (s *ProxyServer) revokeOthers(rid uint64, client *clientState, a accessReq, yield func(func())) {
 	id := client.rec.ID
 	type target struct {
 		c    *clientState
@@ -508,14 +524,24 @@ func (s *ProxyServer) revokeOthers(rid uint64, client *clientState, a accessReq)
 		}
 	}
 	s.mu.Unlock()
-	for _, r := range recalls {
-		res := s.callbackRecall(rid, r.c, r.args)
-		s.mu.Lock()
-		r.sh.deleg = DelegNone
-		if res == nil && r.args.Deleg == DelegWrite {
-			r.sh.lostRecall = true
+	if len(recalls) == 0 {
+		return
+	}
+	issue := func() {
+		for _, r := range recalls {
+			res := s.callbackRecall(rid, r.c, r.args)
+			s.mu.Lock()
+			r.sh.deleg = DelegNone
+			if res == nil && r.args.Deleg == DelegWrite {
+				r.sh.lostRecall = true
+			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
+	}
+	if yield != nil {
+		yield(issue)
+	} else {
+		issue()
 	}
 }
 

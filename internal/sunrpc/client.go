@@ -98,6 +98,7 @@ type Client struct {
 
 	metRetransmits *obs.Counter
 	metBackoff     *obs.Histogram
+	metShedRetries *obs.Counter
 }
 
 type pendingCall struct {
@@ -106,6 +107,12 @@ type pendingCall struct {
 	stat AcceptStat
 	err  error
 	done bool
+	// retryable marks calls whose retransmit loop is armed (policy + timeout):
+	// for those a TryLater reply is swallowed like a lost reply — the backoff
+	// timer drives the retry under the same XID. Single-send calls surface
+	// TryLater as *Error instead.
+	retryable bool
+	shed      int // TryLater replies swallowed
 }
 
 // NewClient wraps conn as an RPC client using cred for every call. The
@@ -133,6 +140,7 @@ func (c *Client) SetObs(node *obs.Node, procName ProcNameFunc) {
 	if reg := node.Registry(); reg != nil {
 		c.metRetransmits = reg.Counter(obs.Label("gvfs_rpc_retransmits_total", "node", node.Name()))
 		c.metBackoff = reg.Histogram(obs.Label("gvfs_rpc_retransmit_backoff", "node", node.Name()), obs.DurationBuckets)
+		c.metShedRetries = reg.Counter(obs.Label("gvfs_rpc_shed_retries_total", "node", node.Name()))
 	}
 }
 
@@ -189,7 +197,10 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 		}
 	}
 	xid := c.xid
-	pc := &pendingCall{w: c.clk.NewWaiter()}
+	pc := &pendingCall{
+		w:         c.clk.NewWaiter(),
+		retryable: c.retr != nil && timeout > 0,
+	}
 	c.pending[xid] = pc
 	c.counts[uint64(prog)<<32|uint64(proc)]++
 	cred := c.cred
@@ -202,6 +213,9 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 	start := node.Now()
 	body, retrans, err := c.send(xid, prog, vers, proc, cred, reqID, args, pc, timeout)
 	if node != nil {
+		c.mu.Lock()
+		shed := pc.shed
+		c.mu.Unlock()
 		sp := obs.Span{
 			Req:   reqID,
 			Op:    "call " + procLabel(procName, prog, proc),
@@ -211,6 +225,12 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 		}
 		if retrans > 0 {
 			sp.Detail = fmt.Sprintf("retransmit=%d", retrans)
+		}
+		if shed > 0 {
+			if sp.Detail != "" {
+				sp.Detail += " "
+			}
+			sp.Detail += fmt.Sprintf("shed=%d", shed)
 		}
 		if body != nil {
 			sp.Bytes += int64(body.Remaining())
@@ -376,6 +396,16 @@ func (c *Client) demux() {
 		}
 		c.mu.Lock()
 		pc, ok := c.pending[m.xid]
+		if ok && m.acceptStat == TryLater && pc.retryable && !pc.done {
+			// The server shed this request under load. Treat it exactly like
+			// a lost reply: leave the call pending so the armed backoff timer
+			// retransmits the same XID — no tight retry loop, and the
+			// operation still completes (or times out) rather than failing.
+			pc.shed++
+			c.mu.Unlock()
+			c.metShedRetries.Inc()
+			continue
+		}
 		var w *vclock.Waiter
 		if ok {
 			delete(c.pending, m.xid)

@@ -2,6 +2,7 @@ package sunrpc
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/transport"
@@ -34,6 +35,7 @@ type Server struct {
 	closed     bool
 	counts     map[uint64]int64 // prog<<32|proc -> calls served
 	drcEntries int
+	sched      *sched
 
 	node     *obs.Node
 	procName ProcNameFunc
@@ -53,6 +55,27 @@ func (s *Server) SetObs(node *obs.Node, procName ProcNameFunc) {
 	if reg := node.Registry(); reg != nil {
 		s.metDRCHits = reg.Counter(obs.Label("gvfs_rpc_drc_hits_total", "node", node.Name()))
 		s.metDRCBusy = reg.Counter(obs.Label("gvfs_rpc_drc_busy_total", "node", node.Name()))
+	}
+	if s.sched != nil {
+		s.sched.setObs(node)
+	}
+}
+
+// SetSched installs the bounded scheduling layer (worker pool, per-client
+// DRR queues, token-bucket admission — see sched.go). The zero SchedConfig
+// restores the legacy unbounded per-request dispatch. Takes effect for
+// requests received after the call.
+func (s *Server) SetSched(cfg SchedConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !cfg.active() {
+		s.sched = nil
+		return
+	}
+	s.sched = newSched(s.clk, s, cfg)
+	s.sched.global = newBucket(s.sched.cfg.RateLimit, s.sched.cfg.RateBurst, s.clk.Now())
+	if s.node != nil {
+		s.sched.setObs(s.node)
 	}
 }
 
@@ -203,6 +226,24 @@ func (d *drc) begin(xid uint32) {
 	}
 }
 
+// remove forgets xid entirely — used when the scheduler sheds a queued
+// request after begin: the shed reply must leave no trace so the client's
+// retransmission under the same XID executes the handler (exactly once).
+func (d *drc) remove(xid uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[xid]; !ok {
+		return
+	}
+	delete(d.entries, xid)
+	for i, x := range d.order {
+		if x == xid {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // complete stores the reply bytes for later replay.
 func (d *drc) complete(xid uint32, reply []byte) {
 	d.mu.Lock()
@@ -249,14 +290,55 @@ func (s *Server) serveConn(conn transport.Conn) {
 				}
 				continue
 			}
+		}
+		s.mu.Lock()
+		sc := s.sched
+		s.mu.Unlock()
+		if cache != nil {
 			cache.begin(m.xid)
 		}
-		// Each request is served on its own actor so slow handlers (e.g. a
-		// proxy server blocked issuing a callback) do not stall the
-		// connection — the multithreading the paper requires to avoid
-		// deadlock between NFS RPCs and GVFS callbacks.
-		s.clk.Go("sunrpc-req", func() { s.handle(conn, cache, m) })
+		if sc == nil {
+			// Unscheduled: each request is served on its own actor so slow
+			// handlers (e.g. a proxy server blocked issuing a callback) do
+			// not stall the connection — the multithreading the paper
+			// requires to avoid deadlock between NFS RPCs and GVFS
+			// callbacks.
+			s.clk.Go("sunrpc-req", func() { s.handle(conn, cache, m, nil, 0, false) })
+			continue
+		}
+		// Every scheduling decision — admission, queueing, dispatch — runs
+		// in the scheduler's end-of-instant drain, in deterministic arrival
+		// order; serveConn only records the arrival. If the drain sheds this
+		// request it removes the DRC entry begun above, so the client's
+		// retransmission executes it fresh.
+		sc.submit(sc.clientKey(m, conn), conn, cache, m, len(raw))
 	}
+}
+
+// shed answers a request with TryLater instead of executing it, recording
+// the decision as a span (Detail "shed=<reason>") and a per-reason
+// gvfs_server_shed_total counter. The reply deliberately bypasses the DRC:
+// the retransmission must execute, not replay the shed.
+func (s *Server) shed(conn transport.Conn, m *parsedMsg, reason string) {
+	s.mu.Lock()
+	node, procName := s.node, s.procName
+	sc := s.sched
+	s.mu.Unlock()
+	if sc != nil {
+		sc.shedCounter(reason).Inc()
+	}
+	if node != nil {
+		now := node.Now()
+		node.Record(obs.Span{
+			Req:    m.reqID,
+			Op:     "serve " + procLabel(procName, m.prog, m.proc),
+			Detail: "shed=" + reason,
+			Err:    TryLater.String(),
+			Start:  now,
+			End:    now,
+		})
+	}
+	s.reply(conn, nil, m.xid, TryLater, nil)
 }
 
 // reply finishes a call: the wire reply is recorded in the connection's
@@ -270,7 +352,11 @@ func (s *Server) reply(conn transport.Conn, cache *drc, xid uint32, stat AcceptS
 	conn.Send(raw)
 }
 
-func (s *Server) handle(conn transport.Conn, cache *drc, m *parsedMsg) {
+// handle executes one admitted request. yield is the scheduler's slot-park
+// hook (nil when unscheduled); queued is the virtual time the request spent
+// waiting for a worker slot, recorded as a "queued=" span detail when
+// scheduled is true.
+func (s *Server) handle(conn transport.Conn, cache *drc, m *parsedMsg, yield func(func()), queued time.Duration, scheduled bool) {
 	s.mu.Lock()
 	fn, ok := s.programs[progVers{m.prog, m.vers}]
 	knownProg := s.progs[m.prog]
@@ -296,6 +382,7 @@ func (s *Server) handle(conn transport.Conn, cache *drc, m *parsedMsg) {
 		ReqID: m.reqID,
 		Args:  m.body,
 		Reply: xdr.NewEncoder(),
+		yield: yield,
 	}
 	start := node.Now()
 	stat := fn(call)
@@ -312,6 +399,14 @@ func (s *Server) handle(conn transport.Conn, cache *drc, m *parsedMsg) {
 			Bytes:  call.SpanBytes,
 			Start:  start,
 			End:    node.Now(),
+		}
+		if scheduled {
+			q := "queued=" + queued.String()
+			if sp.Detail != "" {
+				sp.Detail += " " + q
+			} else {
+				sp.Detail = q
+			}
 		}
 		if stat != Success {
 			sp.Err = stat.String()

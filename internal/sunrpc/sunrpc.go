@@ -34,6 +34,14 @@ const (
 	ProcUnavail  AcceptStat = 3
 	GarbageArgs  AcceptStat = 4
 	SystemErr    AcceptStat = 5
+	// TryLater is a private accept status (numbered in the same private
+	// range as AuthGVFS) the server's admission controller returns when it
+	// sheds a request instead of queueing it. It is retryable by
+	// construction: the at-least-once client treats it exactly like a lost
+	// reply and retransmits the same XID after backoff, so a shed costs one
+	// round trip of delay, never a failed operation. Clients without a
+	// retransmit policy see it as a regular RPC error.
+	TryLater AcceptStat = 395650
 )
 
 func (s AcceptStat) String() string {
@@ -50,6 +58,8 @@ func (s AcceptStat) String() string {
 		return "GARBAGE_ARGS"
 	case SystemErr:
 		return "SYSTEM_ERR"
+	case TryLater:
+		return "TRY_LATER"
 	default:
 		return fmt.Sprintf("AcceptStat(%d)", uint32(s))
 	}
@@ -139,6 +149,25 @@ type Call struct {
 	SpanFH     string
 	SpanDetail string
 	SpanBytes  int64
+
+	// yield is set by the scheduler when the call runs inside a bounded
+	// worker pool; see Yield.
+	yield func(func())
+}
+
+// Yield runs fn with this call's worker-pool slot released, re-acquiring it
+// (with priority over freshly queued requests) before returning. Handlers
+// that block waiting on *other RPCs through the same pool* — a proxy server
+// issuing a callback recall that the client can only answer after flushing
+// WRITEs back through this server — must wrap the blocking section in Yield
+// or a full pool can deadlock on itself. When no scheduler is active fn just
+// runs inline.
+func (c *Call) Yield(fn func()) {
+	if c.yield != nil {
+		c.yield(fn)
+		return
+	}
+	fn()
 }
 
 // Errors returned by the client.
