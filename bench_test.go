@@ -35,6 +35,7 @@ func secs(d time.Duration) float64 { return d.Seconds() }
 // BenchmarkFig4Make regenerates Figure 4: the make benchmark on NFS, GVFS
 // and GVFS-WB in LAN and WAN.
 func BenchmarkFig4Make(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig4(opts())
 		if err != nil {
@@ -56,6 +57,7 @@ func BenchmarkFig4Make(b *testing.B) {
 // BenchmarkFig5PostMark regenerates Figure 5: PostMark runtime vs RTT for
 // NFS, GVFS1 and GVFS2.
 func BenchmarkFig5PostMark(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig5(opts())
 		if err != nil {
@@ -73,6 +75,7 @@ func BenchmarkFig5PostMark(b *testing.B) {
 // BenchmarkFig6Lock regenerates Figure 6: the lock contention benchmark
 // across the consistency spectrum.
 func BenchmarkFig6Lock(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig6(opts())
 		if err != nil {
@@ -90,6 +93,7 @@ func BenchmarkFig6Lock(b *testing.B) {
 // BenchmarkFig7NanoMOS regenerates Figure 7: the shared software repository
 // with an update between iterations 4 and 5.
 func BenchmarkFig7NanoMOS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig7(opts())
 		if err != nil {
@@ -108,6 +112,7 @@ func BenchmarkFig7NanoMOS(b *testing.B) {
 
 // BenchmarkFig8CH1D regenerates Figure 8: the producer/consumer pipeline.
 func BenchmarkFig8CH1D(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunFig8(opts())
 		if err != nil {
@@ -125,6 +130,7 @@ func BenchmarkFig8CH1D(b *testing.B) {
 // BenchmarkLANOverhead regenerates the Section 5.1.1 measurement: the
 // proxy's interception cost in a 100 Mbps LAN.
 func BenchmarkLANOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunLANOverhead(opts())
 		if err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov|ablate|meta]
+//	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov|ablate|meta|sched|hotpath]
 //	           [-scale N] [-q] [-metrics-out file] [-json-out file]
 //
 // Scale 1 is the paper's full workload size; larger values shrink the
@@ -25,11 +25,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate, meta, sched")
+	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate, meta, sched, hotpath")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
 	quiet := flag.Bool("q", false, "suppress per-setup progress lines")
 	metricsOut := flag.String("metrics-out", "", "write per-deployment metrics dumps to this file (- for stderr)")
-	jsonOut := flag.String("json-out", "", "write the machine-readable result of JSON-capable experiments (meta, sched) to this file")
+	jsonOut := flag.String("json-out", "", "write the machine-readable result of JSON-capable experiments (meta, sched, hotpath) to this file")
 	flag.Parse()
 
 	if err := run(os.Stdout, *exp, *scale, *quiet, *metricsOut, *jsonOut); err != nil {
@@ -115,6 +115,25 @@ func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut str
 			}
 			r.Render(w)
 			if jsonOut != "" {
+				f, err := os.Create(jsonOut)
+				if err != nil {
+					return fmt.Errorf("create %s: %w", jsonOut, err)
+				}
+				defer f.Close()
+				if err := r.WriteJSON(f); err != nil {
+					return fmt.Errorf("write %s: %w", jsonOut, err)
+				}
+				fmt.Fprintf(w, "json: %s\n", jsonOut)
+			}
+			return nil
+		}},
+		{"hotpath", func() error {
+			r, err := bench.RunHotpath(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			if jsonOut != "" && exp == "hotpath" {
 				f, err := os.Create(jsonOut)
 				if err != nil {
 					return fmt.Errorf("create %s: %w", jsonOut, err)

@@ -56,6 +56,9 @@ type Config struct {
 	// Defaults to "server".
 	ServerHost string
 	// TraceRing bounds each node's span ring buffer (default 4096 spans).
+	// Negative disables span retention entirely; hot paths then skip
+	// building span labels (allocation benchmarks use this to measure the
+	// block path as a tracing-off production server would run it).
 	TraceRing int
 	// NFSSched bounds the kernel NFS server's request scheduling (worker
 	// pool, per-client DRR queues — see sunrpc.SchedConfig). The zero value

@@ -41,6 +41,10 @@ func TestParallelFlushRoundTrips(t *testing.T) {
 				sess, err := d.NewSession("s", core.Config{
 					Model: core.ModelPolling, WriteBack: true,
 					FlushParallelism: w, FlushInterval: time.Hour,
+					// Pin one WRITE per block: this test measures flush
+					// parallelism, not coalescing (see
+					// TestCoalescedFlushRoundTrips for that).
+					MaxWriteBytes: bs,
 				})
 				if err != nil {
 					t.Error(err)

@@ -321,6 +321,10 @@ func runFlushVariant(opt Options, w, blocks int) (AblationRow, error) {
 		sess, serr := d.NewSession("s", core.Config{
 			Model: core.ModelPolling, WriteBack: true,
 			FlushParallelism: w, FlushInterval: time.Hour,
+			// One WRITE per block: this ablation isolates flush
+			// parallelism; write coalescing is measured by the hotpath
+			// experiment.
+			MaxWriteBytes: 32 * 1024,
 		})
 		if serr != nil {
 			runErr = serr

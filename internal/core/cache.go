@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/nfs3"
 	"repro/internal/obs"
 )
@@ -694,6 +695,69 @@ func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint6
 	copy(data, block[:count])
 	fc.flushing[bn] = true
 	return data, off, fc.dirtyGen[bn], true
+}
+
+// takeDirtyRun extracts a run of consecutive dirty blocks starting at bn,
+// staged into one pooled buffer for a single coalesced WRITE of up to
+// maxBytes. Every block in the run is marked in flight until endFlush; gens
+// carries each block's dirty generation so the flusher can pass them back to
+// flushed individually (a racing write dirties just its own block again).
+// The staging buffer is pool-owned: the caller must bufpool.Put it once the
+// WRITE RPC has completed. ok is false when bn itself is not takeable, under
+// exactly the takeDirty rules.
+func (sc *sessionCache) takeDirtyRun(fh nfs3.FH, bn uint64, maxBytes int) (data []byte, off uint64, bns, gens []uint64, ok bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, exists := sc.files[fh.Key()]
+	if !exists || !fc.dirty[bn] || fc.flushing[bn] {
+		return nil, 0, nil, nil, false
+	}
+	bs := uint64(sc.bs)
+	off = bn * bs
+	if off >= fc.size {
+		// Block wholly beyond a truncation; drop it.
+		delete(fc.dirty, bn)
+		delete(fc.blocks, bn)
+		return nil, 0, nil, nil, false
+	}
+	if maxBytes < sc.bs {
+		maxBytes = sc.bs
+	}
+	// First measure the run, then stage it, so the buffer is sized once.
+	var total uint64
+	for b := bn; ; b++ {
+		blkOff := b * bs
+		if blkOff >= fc.size || !fc.dirty[b] || fc.flushing[b] {
+			break
+		}
+		count := bs
+		if blkOff+count > fc.size {
+			count = fc.size - blkOff
+		}
+		if len(bns) > 0 && total+count > uint64(maxBytes) {
+			break
+		}
+		bns = append(bns, b)
+		gens = append(gens, fc.dirtyGen[b])
+		total += count
+		if count < bs {
+			break // short tail ends the run at EOF
+		}
+	}
+	data = bufpool.Get(int(total))
+	pos := uint64(0)
+	for _, b := range bns {
+		count := bs
+		if b*bs+count > fc.size {
+			count = fc.size - b*bs
+		}
+		// Dirty blocks are always stored full-sized (see writeDirty), so the
+		// slice below cannot run past the block.
+		copy(data[pos:pos+count], fc.blocks[b][:count])
+		fc.flushing[b] = true
+		pos += count
+	}
+	return data, off, bns, gens, true
 }
 
 // endFlush clears a block's in-flight flush mark (success or failure).

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/nfs3"
 	"repro/internal/obs"
 	"repro/internal/sunrpc"
 )
@@ -54,7 +55,10 @@ type Config struct {
 	// Overflow triggers force-invalidation. Default 1024.
 	InvBufferEntries int
 	// MaxHandlesPerReply bounds one GETINV reply; larger buffers set the
-	// poll-again flag. Default 256.
+	// poll-again flag. The default batches aggressively: one reply drains an
+	// entire default-sized invalidation buffer (bounded by what fits in a
+	// MaxIOSize reply), so a poll costs one round trip, not a PollAgain
+	// ladder. Set a small explicit value to exercise multi-round drains.
 	MaxHandlesPerReply int
 
 	// DelegExpiry is how long after its last access a file is speculated
@@ -128,6 +132,14 @@ type Config struct {
 	// flushes. Default 1.
 	FlushParallelism int
 
+	// MaxWriteBytes caps one coalesced write-back WRITE: adjacent dirty
+	// blocks are merged into a single RPC of up to this many bytes, so a
+	// sequentially dirtied file flushes in ceil(bytes/MaxWriteBytes) WRITEs
+	// instead of one per block. Values at or below BlockSize disable
+	// coalescing (every WRITE carries one block); 0 defaults to
+	// nfs3.MaxIOSize, the wire-level payload bound.
+	MaxWriteBytes int
+
 	// ReadAhead is the number of blocks the proxy client prefetches into
 	// the session cache ahead of a detected sequential read pattern,
 	// pipelining cold sequential reads instead of paying one round-trip per
@@ -153,6 +165,15 @@ type Config struct {
 	RetransmitJitter time.Duration
 	// RetransmitSeed perturbs the retransmission jitter hash. Default 0.
 	RetransmitSeed int64
+	// RetransmitPerByte stretches the initial retransmission wait by the
+	// request frame's size (effective initial = RetransmitInitial +
+	// frameBytes*RetransmitPerByte), so a coalesced megabyte WRITE is not
+	// retransmitted while its first copy is still crossing a
+	// bandwidth-limited link. The default, 2 µs/byte, is the transfer rate
+	// of the paper's 4 Mbit/s WAN — a conservative floor that at worst
+	// delays a retransmission by the frame's own transfer time. Negative
+	// disables the stretch. Default 2 µs.
+	RetransmitPerByte time.Duration
 	// DRCEntries bounds each connection's duplicate-request cache at the
 	// proxy RPC servers (proxy server, NFS server, and the proxy client's
 	// callback service). Negative disables the cache. Default 512.
@@ -216,7 +237,12 @@ func (c Config) withDefaults() Config {
 		c.InvBufferEntries = 1024
 	}
 	if c.MaxHandlesPerReply == 0 {
-		c.MaxHandlesPerReply = 256
+		// Batch a whole default buffer into one GETINV reply, bounded by how
+		// many encoded handles (length + MaxFHSize payload) fit in MaxIOSize.
+		c.MaxHandlesPerReply = c.InvBufferEntries
+		if fit := nfs3.MaxIOSize / (nfs3.MaxFHSize + 8); c.MaxHandlesPerReply > fit {
+			c.MaxHandlesPerReply = fit
+		}
 	}
 	if c.DelegExpiry == 0 {
 		c.DelegExpiry = 10 * time.Minute
@@ -254,6 +280,12 @@ func (c Config) withDefaults() Config {
 	if c.FlushParallelism == 0 {
 		c.FlushParallelism = 1
 	}
+	if c.MaxWriteBytes == 0 {
+		c.MaxWriteBytes = nfs3.MaxIOSize
+	}
+	if c.MaxWriteBytes < c.BlockSize {
+		c.MaxWriteBytes = c.BlockSize
+	}
 	if c.CallTimeout == 0 {
 		c.CallTimeout = 15 * time.Second
 	}
@@ -265,6 +297,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetransmitJitter == 0 {
 		c.RetransmitJitter = 100 * time.Millisecond
+	}
+	if c.RetransmitPerByte == 0 {
+		c.RetransmitPerByte = 2 * time.Microsecond
 	}
 	if c.DRCEntries == 0 {
 		c.DRCEntries = 512
@@ -340,9 +375,14 @@ func (c Config) applyRetransmit(cl *sunrpc.Client) {
 	if c.RetransmitInitial <= 0 {
 		return
 	}
+	perByte := c.RetransmitPerByte
+	if perByte < 0 {
+		perByte = 0
+	}
 	cl.SetRetransmit(sunrpc.RetransmitPolicy{
 		Initial: c.RetransmitInitial,
 		Max:     c.RetransmitMax,
+		PerByte: perByte,
 		Jitter:  c.RetransmitJitter,
 		Seed:    c.RetransmitSeed,
 	})

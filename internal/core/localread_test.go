@@ -7,7 +7,17 @@ import (
 	"repro/internal/nfs3"
 )
 
-// Short tail blocks are stored at natural length, so localReadRes must
+// localRead adapts localReadInto to the original value-returning shape the
+// assertions below were written against.
+func localRead(attr nfs3.Fattr, block []byte, offset uint64, count uint32, bs uint64) *nfs3.ReadRes {
+	var res nfs3.ReadRes
+	if !localReadInto(&res, attr, block, offset, count, bs) {
+		return nil
+	}
+	return &res
+}
+
+// Short tail blocks are stored at natural length, so localReadInto must
 // derive in-block offsets from the configured block size — the old
 // offset % len(block) served garbage for any offset at or past the block
 // size, and could slice with a negative length.
@@ -17,17 +27,17 @@ func TestLocalReadResShortTailBlock(t *testing.T) {
 	attr := nfs3.Fattr{Type: nfs3.TypeReg, Size: bs + uint64(len(tail))}
 
 	// Aligned re-read of the whole tail: all four bytes from the start.
-	res := localReadRes(attr, tail, bs, uint32(bs), bs)
+	res := localRead(attr, tail, bs, uint32(bs), bs)
 	if res == nil || res.Count != 4 || !bytes.Equal(res.Data, tail) || !res.EOF {
 		t.Fatalf("aligned tail read = %+v", res)
 	}
 	// Mid-tail offset.
-	res = localReadRes(attr, tail, bs+2, uint32(bs), bs)
+	res = localRead(attr, tail, bs+2, uint32(bs), bs)
 	if res == nil || res.Count != 2 || !bytes.Equal(res.Data, tail[2:]) || !res.EOF {
 		t.Fatalf("mid-tail read = %+v", res)
 	}
 	// At EOF: empty reply, EOF set.
-	res = localReadRes(attr, tail, attr.Size, uint32(bs), bs)
+	res = localRead(attr, tail, attr.Size, uint32(bs), bs)
 	if res == nil || res.Count != 0 || !res.EOF {
 		t.Fatalf("EOF read = %+v", res)
 	}
@@ -41,12 +51,12 @@ func TestLocalReadResUnservableRangesForward(t *testing.T) {
 	// served. The old code computed a negative length here and panicked in
 	// make().
 	grown := nfs3.Fattr{Type: nfs3.TypeReg, Size: 2 * bs}
-	if res := localReadRes(grown, tail, bs+8, 8, bs); res != nil {
+	if res := localRead(grown, tail, bs+8, 8, bs); res != nil {
 		t.Fatalf("range past the short block served locally: %+v", res)
 	}
 	// Zero-length cached block (EOF-path cache of an empty tail) with a
 	// grown file: the old code divided by len(block) == 0.
-	if res := localReadRes(grown, nil, bs, 8, bs); res != nil {
+	if res := localRead(grown, nil, bs, 8, bs); res != nil {
 		t.Fatalf("empty block served a non-empty range: %+v", res)
 	}
 }

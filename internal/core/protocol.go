@@ -81,6 +81,18 @@ func DecodeSessionCred(cred sunrpc.Cred) (SessionCred, error) {
 	return sc, err
 }
 
+// checkCount rejects a decoded element count that cannot possibly be
+// satisfied by the bytes remaining in the frame (each element consumes at
+// least per bytes on the wire). Counts arrive from the network, so looping
+// or allocating on them without this check lets a small hostile frame drive
+// unbounded work.
+func checkCount(d *xdr.Decoder, n uint32, per int) error {
+	if int64(n)*int64(per) > int64(d.Remaining()) {
+		return fmt.Errorf("%w: count %d", xdr.ErrLength, n)
+	}
+	return nil
+}
+
 // GetInvArgs is the GETINV request: the logical timestamp of the last
 // invalidation the client has applied (0 = bootstrap null argument), and the
 // maximum number of handles the client will accept in one reply.
@@ -144,6 +156,10 @@ func (r *GetInvRes) Decode(d *xdr.Decoder) error {
 	}
 	n, err := d.Uint32()
 	if err != nil {
+		return err
+	}
+	// Each handle is at least a 4-byte length plus the handle bytes.
+	if err := checkCount(d, n, 4+nfs3.FHSize); err != nil {
 		return err
 	}
 	r.Handles = r.Handles[:0]
@@ -349,6 +365,9 @@ func (r *RecallRes) Decode(d *xdr.Decoder) error {
 	if err != nil {
 		return err
 	}
+	if err := checkCount(d, n, 8); err != nil {
+		return err
+	}
 	r.Pending = r.Pending[:0]
 	for i := uint32(0); i < n; i++ {
 		off, err := d.Uint64()
@@ -380,6 +399,9 @@ func (r *RecallAllRes) Encode(e *xdr.Encoder) {
 func (r *RecallAllRes) Decode(d *xdr.Decoder) error {
 	n, err := d.Uint32()
 	if err != nil {
+		return err
+	}
+	if err := checkCount(d, n, 4+nfs3.FHSize); err != nil {
 		return err
 	}
 	r.DirtyFiles = r.DirtyFiles[:0]

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/nfs3"
 	"repro/internal/obs"
 	"repro/internal/sunrpc"
@@ -540,9 +541,10 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 		p.mu.Unlock()
 
 		args := GetInvArgs{Timestamp: ts, MaxHandles: uint32(p.cfg.MaxHandlesPerReply)}
-		e := xdr.NewEncoder()
+		e := bufpool.GetEncoder()
 		args.Encode(e)
 		d, callErr := p.rawCall(rid, InvProgram, InvVersion, ProcGetInv, e.Bytes())
+		bufpool.PutEncoder(e)
 		if callErr != nil {
 			return gotAny, callErr
 		}
@@ -682,10 +684,13 @@ func (p *ProxyClient) flushDone(fh nfs3.FH, bn uint64) {
 }
 
 // waitFlushIdle blocks (through the clock) until no flush of fh is in
-// flight.
+// flight. The common case — nothing in flight — allocates no waiter.
 func (p *ProxyClient) waitFlushIdle(fh nfs3.FH) {
 	key := fh.Key()
 	for {
+		if !p.cache.flushInFlight(fh) {
+			return
+		}
 		w := p.clk.NewWaiter()
 		p.mu.Lock()
 		if !p.cache.flushInFlight(fh) {
@@ -698,19 +703,36 @@ func (p *ProxyClient) waitFlushIdle(fh nfs3.FH) {
 	}
 }
 
-// flushBlock writes one dirty block upstream. The flush-pipeline depth gauge
-// tracks WRITEs between takeDirty and completion, so a scrape mid-flush
-// shows how deep the write-back pipeline runs.
+// flushBlock writes dirty data starting at bn upstream as one WRITE. Adjacent
+// dirty blocks are coalesced into the same RPC up to Config.MaxWriteBytes
+// (takeDirtyRun), so a sequentially dirtied file flushes in a handful of
+// large WRITEs instead of one per block; with MaxWriteBytes == BlockSize the
+// run is exactly one block and the legacy per-block pipeline is preserved.
+// Blocks another flusher already staged are refused by takeDirtyRun, so
+// per-block flush queues and coalesced runs never double-issue a WRITE. The
+// flush-pipeline depth gauge tracks WRITEs between takeDirtyRun and
+// completion, so a scrape mid-flush shows how deep the write-back pipeline
+// runs.
 func (p *ProxyClient) flushBlock(rid uint64, fh nfs3.FH, bn uint64) error {
-	data, off, gen, ok := p.cache.takeDirty(fh, bn)
+	data, off, bns, gens, ok := p.cache.takeDirtyRun(fh, bn, p.cfg.MaxWriteBytes)
 	if !ok {
 		return nil
 	}
+	// The staging buffer is pool-owned; the WRITE payload is copied into the
+	// outgoing call message before callUpstream returns, so it recycles here.
+	defer bufpool.Put(data)
 	p.met.flushInflight.Add(1)
 	defer p.met.flushInflight.Add(-1)
-	defer p.flushDone(fh, bn)
+	defer func() {
+		for _, b := range bns {
+			p.flushDone(fh, b)
+		}
+	}()
 	if p.cfg.DiskDelay > 0 {
-		p.clk.Sleep(p.cfg.DiskDelay) // read the dirty block back from disk
+		p.clk.Sleep(p.cfg.DiskDelay) // read the dirty run back from disk
+	}
+	if len(bns) > 1 {
+		p.met.coalescedWrites.Inc()
 	}
 	args := nfs3.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
 	var res nfs3.WriteRes
@@ -725,8 +747,10 @@ func (p *ProxyClient) flushBlock(rid uint64, fh nfs3.FH, bn uint64) error {
 		p.met.flushErrors.Inc()
 		return &nfs3.Error{Status: res.Status, Proc: nfs3.ProcWrite}
 	}
-	p.cache.flushed(fh, bn, gen, res.Wcc.After)
-	p.met.flushedBlocks.Inc()
+	for i, b := range bns {
+		p.cache.flushed(fh, b, gens[i], res.Wcc.After)
+	}
+	p.met.flushedBlocks.Add(int64(len(bns)))
 	return nil
 }
 
@@ -739,7 +763,10 @@ type wireDec interface{ Decode(*xdr.Decoder) error }
 // GVFS trailers the proxy server piggybacks on the reply (absent when the
 // upstream is a plain NFS server).
 func (p *ProxyClient) callUpstream(rid uint64, proc uint32, args wireEnc, res wireDec) (Trailers, error) {
-	e := xdr.NewEncoder()
+	// The args encoder is pooled: rawCall copies them into the outgoing call
+	// message before blocking for the reply, so recycling on return is safe.
+	e := bufpool.GetEncoder()
+	defer bufpool.PutEncoder(e)
 	if args != nil {
 		args.Encode(e)
 	}
@@ -881,11 +908,29 @@ func remainingBytes(d *xdr.Decoder) []byte {
 	return b
 }
 
+// ServeCall executes one NFSv3 call against the proxy exactly as the RPC
+// server's dispatch does, span recording included. Callers construct a
+// sunrpc.Call with Args positioned at the procedure arguments and Reply ready
+// to receive results — the same contract a transport-delivered call meets.
+// It exists so benchmarks (and embedders) can drive the real handler chain
+// without a transport in between, e.g. to measure the warm block path's
+// allocation profile in isolation.
+func (p *ProxyClient) ServeCall(call *sunrpc.Call) sunrpc.AcceptStat {
+	return p.dispatchNFS(call)
+}
+
 // dispatchNFS wraps serveNFS with a trace span: the proxy's view of each
 // kernel RPC, carrying the handler's FH/detail/bytes annotations. The proxy's
 // own sunrpc.Server records no generic spans (SetObs is not installed on it),
 // so this is the single serve-side record per kernel call at this node.
 func (p *ProxyClient) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
+	// The proxy records spans at its own node, not the RPC server's (which
+	// has no tracer installed): announce that here so handlers compute their
+	// span labels exactly when a retained record will carry them.
+	call.Traced = p.node.Tracing()
+	if !call.Traced {
+		return p.serveNFS(call)
+	}
 	start := p.node.Now()
 	stat := p.serveNFS(call)
 	sp := obs.Span{
@@ -959,12 +1004,16 @@ func (p *ProxyClient) getattr(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
-	call.SpanFH = args.FH.String()
+	if call.Traced {
+		call.SpanFH = args.FH.String()
+	}
 	if !p.cfg.DisableMetaCache && p.servable(args.FH) {
 		if a, ok := p.cache.getAttr(args.FH); ok {
 			p.met.attrHits.Inc()
 			p.hitLocal(call)
-			return encodeReply(call, &nfs3.GetattrRes{Status: nfs3.OK, Attr: a})
+			res := nfs3.GetattrRes{Status: nfs3.OK, Attr: a}
+			res.Encode(call.Reply)
+			return sunrpc.Success
 		}
 	}
 	var res nfs3.GetattrRes
@@ -1046,7 +1095,9 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
-	call.SpanFH = args.FH.String()
+	if call.Traced {
+		call.SpanFH = args.FH.String()
+	}
 	bs := uint64(p.cfg.BlockSize)
 	bn := args.Offset / bs
 	aligned := args.Offset%bs == 0 && uint64(args.Count) <= bs
@@ -1059,7 +1110,11 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 		joined := p.waitFetch(args.FH, bn)
 		if block, ok := p.cache.getBlock(args.FH, bn); ok {
 			if attr, attrOK := p.cache.getAttr(args.FH); attrOK && (p.servable(args.FH) || p.cache.hasDirty(args.FH)) {
-				if res := localReadRes(attr, block, args.Offset, args.Count, bs); res != nil {
+				// res stays on this frame's stack: the warm hit path's only
+				// allocation is the pooled staging buffer inside
+				// localReadInto, recycled right after the reply encodes.
+				var res nfs3.ReadRes
+				if localReadInto(&res, attr, block, args.Offset, args.Count, bs) {
 					if joined {
 						// The demand read rode an in-flight readahead
 						// instead of paying its own round-trip.
@@ -1074,17 +1129,28 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 					if seq {
 						p.startReadAhead(call.ReqID, args.FH, bn)
 					}
-					return encodeReply(call, res)
+					res.Encode(call.Reply)
+					releaseReadRes(&res)
+					return sunrpc.Success
 				}
 			}
 		}
 	}
 
+	return p.readForward(call, args, bn, aligned, seq)
+}
+
+// readForward forwards a READ upstream. args arrives by value: callUpstream's
+// interface parameter makes &args escape, and keeping that address-taking out
+// of read lets the warm hit path hold its ReadArgs on the stack — otherwise
+// every READ, hit or miss, paid a heap allocation at the `var args` line.
+func (p *ProxyClient) readForward(call *sunrpc.Call, args nfs3.ReadArgs, bn uint64, aligned, seq bool) sunrpc.AcceptStat {
 	if aligned && seq {
 		// Kick the pipeline before the demand READ so the next blocks cross
 		// the wide area concurrently with this one.
 		p.startReadAhead(call.ReqID, args.FH, bn)
 	}
+	bs := uint64(p.cfg.BlockSize)
 	var res nfs3.ReadRes
 	if _, err := p.callUpstream(call.ReqID, nfs3.ProcRead, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.ReadRes{Status: nfs3.ErrJukebox})
@@ -1101,15 +1167,18 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 	return encodeReply(call, &res)
 }
 
-// localReadRes builds a READ reply from one cached block, or nil when the
-// requested range cannot be served from it (the caller then forwards
-// upstream). Tail blocks are stored at their natural, short length, so the
-// in-block offset must be derived from the configured block size — never
-// from len(block).
-func localReadRes(attr nfs3.Fattr, block []byte, offset uint64, count uint32, blockSize uint64) *nfs3.ReadRes {
+// localReadInto fills res with a READ reply from one cached block, returning
+// false when the requested range cannot be served from it (the caller then
+// forwards upstream). Tail blocks are stored at their natural, short length,
+// so the in-block offset must be derived from the configured block size —
+// never from len(block). The out-parameter shape lets the hot path keep res
+// on the caller's stack: a warm cache hit allocates nothing but the pooled
+// data staging buffer.
+func localReadInto(res *nfs3.ReadRes, attr nfs3.Fattr, block []byte, offset uint64, count uint32, blockSize uint64) bool {
 	size := attr.Size
 	if offset >= size {
-		return &nfs3.ReadRes{Status: nfs3.OK, Attr: nfs3.PostOpAttr{Present: true, Attr: attr}, EOF: true}
+		*res = nfs3.ReadRes{Status: nfs3.OK, Attr: nfs3.PostOpAttr{Present: true, Attr: attr}, EOF: true}
+		return true
 	}
 	bo := int(offset % blockSize)
 	n := int(count)
@@ -1126,16 +1195,30 @@ func localReadRes(attr nfs3.Fattr, block []byte, offset uint64, count uint32, bl
 		// The range starts at or past the end of a short-stored block yet
 		// inside the file (the block predates a remote append): the cache
 		// cannot serve it.
-		return nil
+		return false
 	}
-	data := make([]byte, n)
+	// The copy is pool-owned (the cache-resident block cannot be handed out
+	// directly: it may be overwritten under the lock while the reply is
+	// encoded); the caller recycles it after the reply encodes via
+	// releaseReadRes.
+	data := bufpool.Get(n)
 	copy(data, block[bo:bo+n])
-	return &nfs3.ReadRes{
+	*res = nfs3.ReadRes{
 		Status: nfs3.OK,
 		Attr:   nfs3.PostOpAttr{Present: true, Attr: attr},
 		Count:  uint32(n),
 		EOF:    offset+uint64(n) >= size,
 		Data:   data,
+	}
+	return true
+}
+
+// releaseReadRes recycles a localReadRes staging buffer once the reply has
+// been encoded (the encoder copied the payload).
+func releaseReadRes(res *nfs3.ReadRes) {
+	if res != nil && res.Data != nil {
+		bufpool.Put(res.Data)
+		res.Data = nil
 	}
 }
 
@@ -1240,6 +1323,14 @@ func (p *ProxyClient) fetchDone(fh nfs3.FH, bn uint64) {
 // a readahead join.
 func (p *ProxyClient) waitFetch(fh nfs3.FH, bn uint64) (joined bool) {
 	k := fetchKey{fh: fh.Key(), bn: bn}
+	// Fast path first: the common demand read has no prefetch in flight, so
+	// don't allocate a waiter just to discard it.
+	p.mu.Lock()
+	busy := p.cache.fetchInFlight(fh, bn)
+	p.mu.Unlock()
+	if !busy {
+		return false
+	}
 	for {
 		w := p.clk.NewWaiter()
 		p.mu.Lock()
@@ -1259,7 +1350,9 @@ func (p *ProxyClient) write(call *sunrpc.Call) sunrpc.AcceptStat {
 	if args.Decode(call.Args) != nil {
 		return sunrpc.GarbageArgs
 	}
-	call.SpanFH = args.FH.String()
+	if call.Traced {
+		call.SpanFH = args.FH.String()
+	}
 	call.SpanBytes = int64(len(args.Data))
 	writeLocal := p.cfg.WriteBack || (p.cfg.Model == ModelDelegation && p.hasWriteDeleg(args.FH))
 	attr, attrOK := p.cache.getAttr(args.FH)
@@ -1298,16 +1391,27 @@ func (p *ProxyClient) write(call *sunrpc.Call) sunrpc.AcceptStat {
 			p.cache.writeDirty(args.FH, args.Offset, args.Data)
 			newAttr, _ := p.cache.getAttr(args.FH)
 			p.hitLocal(call)
-			return encodeReply(call, &nfs3.WriteRes{
+			// Stack-encoded directly: the absorbed-write path allocates
+			// nothing at steady state.
+			res := nfs3.WriteRes{
 				Status:    nfs3.OK,
 				Wcc:       nfs3.WccData{After: nfs3.PostOpAttr{Present: true, Attr: newAttr}},
 				Count:     uint32(len(args.Data)),
 				Committed: nfs3.FileSync,
 				Verf:      1,
-			})
+			}
+			res.Encode(call.Reply)
+			return sunrpc.Success
 		}
 	}
 
+	return p.writeForward(call, args)
+}
+
+// writeForward forwards a WRITE upstream. As with readForward, args arrives
+// by value so the absorbed-write path in write keeps its WriteArgs on the
+// stack instead of heap-allocating it for callUpstream's sake.
+func (p *ProxyClient) writeForward(call *sunrpc.Call, args nfs3.WriteArgs) sunrpc.AcceptStat {
 	var res nfs3.WriteRes
 	if _, err := p.callUpstream(call.ReqID, nfs3.ProcWrite, &args, &res); err != nil {
 		return encodeReply(call, &nfs3.WriteRes{Status: nfs3.ErrJukebox})

@@ -615,8 +615,15 @@ func (s *ProxyServer) dispatchInv(call *sunrpc.Call) sunrpc.AcceptStat {
 		call.SpanDetail = "force"
 	default:
 		// 3) Return buffer contents (bounded by one reply) and clear them.
+		// A client-requested batch of 0 (or one beyond what fits under
+		// MaxIOSize) is clamped to the server's ceiling so a reply frame
+		// stays bounded no matter what the peer asks for.
 		n := len(b.order)
-		if max := int(args.MaxHandles); max > 0 && n > max {
+		max := int(args.MaxHandles)
+		if ceil := nfs3.MaxIOSize / (nfs3.MaxFHSize + 8); max <= 0 || max > ceil {
+			max = ceil
+		}
+		if n > max {
 			n = max
 			res.PollAgain = true
 		}

@@ -157,6 +157,13 @@ const MaxNameLen = 255
 // MaxPathLen bounds symlink targets on the wire.
 const MaxPathLen = 1024
 
+// MaxIOSize bounds every wire value that sizes a data allocation: READ/WRITE
+// payloads, READ counts, and directory-listing byte budgets. It is well above
+// the advertised rtmax/wtmax (so coalesced multi-block WRITEs fit) and well
+// below the transport frame limit; a frame claiming more is either hostile or
+// corrupted, and must never be trusted into make([]byte, n).
+const MaxIOSize = 1 << 20
+
 // LookupRes is LOOKUP3res.
 type LookupRes struct {
 	Status  Status
@@ -302,8 +309,16 @@ func (a *ReadArgs) Decode(d *xdr.Decoder) error {
 	if a.Offset, err = d.Uint64(); err != nil {
 		return err
 	}
-	a.Count, err = d.Uint32()
-	return err
+	if a.Count, err = d.Uint32(); err != nil {
+		return err
+	}
+	// Clamp rather than reject: RFC 1813 lets the server return fewer bytes
+	// than requested, so an oversized count degrades to a short read instead
+	// of sizing an allocation from the wire.
+	if a.Count > MaxIOSize {
+		a.Count = MaxIOSize
+	}
+	return nil
 }
 
 // ReadRes is READ3res.
@@ -345,7 +360,9 @@ func (r *ReadRes) Decode(d *xdr.Decoder) error {
 	if r.EOF, err = d.Bool(); err != nil {
 		return err
 	}
-	r.Data, err = d.Opaque(0)
+	// Data aliases the reply frame (consumers copy what they cache); the
+	// bound still rejects frames claiming more than MaxIOSize.
+	r.Data, err = d.OpaqueRef(MaxIOSize)
 	return err
 }
 
@@ -382,7 +399,9 @@ func (a *WriteArgs) Decode(d *xdr.Decoder) error {
 	if a.Stable, err = d.Uint32(); err != nil {
 		return err
 	}
-	a.Data, err = d.Opaque(0)
+	// Data aliases the request frame — every server-side consumer copies or
+	// applies it before the handler returns and the frame is recycled.
+	a.Data, err = d.OpaqueRef(MaxIOSize)
 	return err
 }
 
@@ -682,8 +701,13 @@ func (a *ReaddirArgs) Decode(d *xdr.Decoder) error {
 	if a.CookieVerf, err = d.Uint64(); err != nil {
 		return err
 	}
-	a.Count, err = d.Uint32()
-	return err
+	if a.Count, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.Count > MaxIOSize {
+		a.Count = MaxIOSize
+	}
+	return nil
 }
 
 // DirEntry is entry3.
@@ -794,8 +818,16 @@ func (a *ReaddirplusArgs) Decode(d *xdr.Decoder) error {
 	if a.DirCount, err = d.Uint32(); err != nil {
 		return err
 	}
-	a.MaxCount, err = d.Uint32()
-	return err
+	if a.DirCount > MaxIOSize {
+		a.DirCount = MaxIOSize
+	}
+	if a.MaxCount, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.MaxCount > MaxIOSize {
+		a.MaxCount = MaxIOSize
+	}
+	return nil
 }
 
 // DirEntryPlus is entryplus3.

@@ -168,6 +168,11 @@ const MaxFHSize = 64
 type FH struct {
 	b [FHSize]byte
 	n int
+	// key is the handle bytes as a string, materialized once at construction
+	// so Key() — called on every cache-map access along the block hot path —
+	// never allocates. It is fully determined by (b, n), so == comparison
+	// semantics are unchanged and the zero FH's empty key stays consistent.
+	key string
 }
 
 // MakeFH builds a handle from a server generation and file ID.
@@ -176,6 +181,7 @@ func MakeFH(generation, fileID uint64) FH {
 	binary.BigEndian.PutUint64(fh.b[0:8], generation)
 	binary.BigEndian.PutUint64(fh.b[8:16], fileID)
 	fh.n = FHSize
+	fh.key = string(fh.b[:fh.n])
 	return fh
 }
 
@@ -188,6 +194,7 @@ func FHFromBytes(b []byte) (FH, error) {
 	}
 	copy(fh.b[:], b)
 	fh.n = len(b)
+	fh.key = string(fh.b[:fh.n])
 	return fh, nil
 }
 
@@ -210,13 +217,16 @@ func (fh FH) Equal(other FH) bool {
 // String renders a short hex form for logs.
 func (fh FH) String() string { return fmt.Sprintf("fh:%x", fh.b[:fh.n]) }
 
-// Key returns the handle as a map key.
-func (fh FH) Key() string { return string(fh.b[:fh.n]) }
+// Key returns the handle as a map key without allocating (the string is
+// materialized once when the handle is constructed).
+func (fh FH) Key() string { return fh.key }
 
 func encodeFH(e *xdr.Encoder, fh FH) { e.Opaque(fh.Bytes()) }
 
 func decodeFH(d *xdr.Decoder) (FH, error) {
-	b, err := d.Opaque(MaxFHSize)
+	// OpaqueRef is safe here: FHFromBytes copies into the FH's fixed array
+	// before the frame can be recycled, so no alias escapes.
+	b, err := d.OpaqueRef(MaxFHSize)
 	if err != nil {
 		return FH{}, err
 	}

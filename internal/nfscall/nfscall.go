@@ -7,6 +7,7 @@ package nfscall
 import (
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/nfs3"
 	"repro/internal/sunrpc"
 	"repro/internal/xdr"
@@ -31,11 +32,14 @@ func (c *Conn) RPC() *sunrpc.Client { return c.rpc }
 func (c *Conn) Close() error { return c.rpc.Close() }
 
 func (c *Conn) call(proc uint32, args interface{ Encode(*xdr.Encoder) }, res interface{ Decode(*xdr.Decoder) error }) error {
-	e := xdr.NewEncoder()
+	// Pooled: CallTimeout copies the argument bytes into the outgoing frame
+	// before it returns, so the encoder can be recycled immediately after.
+	e := bufpool.GetEncoder()
 	if args != nil {
 		args.Encode(e)
 	}
 	d, err := c.rpc.CallTimeout(nfs3.Program, nfs3.Version, proc, e.Bytes(), c.Timeout)
+	bufpool.PutEncoder(e)
 	if err != nil {
 		return err
 	}

@@ -4,8 +4,14 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/bufpool"
 	"repro/internal/nfs3"
 )
+
+// Cache-resident page buffers (fc.blocks) are deliberately NOT pool-owned:
+// ReadAt copies out of a block outside the client lock, so an eviction that
+// recycled the page could hand it to another request while the reader still
+// aliases it. Only transient staging buffers go through bufpool here.
 
 // File is an open file on the mount. It goes through the client's page
 // cache; Close flushes dirty blocks (close-to-open consistency).
@@ -300,11 +306,16 @@ func (f *File) Sync() error {
 		if start+count > fc.size {
 			count = fc.size - start
 		}
-		data := make([]byte, count)
+		// Stage a pool-owned copy: the cached block must not be handed to
+		// the RPC layer directly (a concurrent WriteAt may scribble on it
+		// while the request marshals). Write copies data into the request
+		// frame before returning, so the buffer can be recycled here.
+		data := bufpool.Get(int(count))
 		copy(data, block[:count])
 		c.mu.Unlock()
 
 		res, err := c.conn.Write(f.fh, start, data, nfs3.FileSync)
+		bufpool.Put(data)
 		if err != nil {
 			return err
 		}

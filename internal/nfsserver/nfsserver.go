@@ -7,6 +7,7 @@ package nfsserver
 import (
 	"errors"
 
+	"repro/internal/bufpool"
 	"repro/internal/memfs"
 	"repro/internal/nfs3"
 	"repro/internal/sunrpc"
@@ -329,7 +330,15 @@ func (s *Server) read(call *sunrpc.Call) sunrpc.AcceptStat {
 		res.Status = st
 		return reply(call, &res)
 	}
-	buf := make([]byte, args.Count)
+	// Decode already clamps Count to MaxIOSize, but never size an allocation
+	// from the wire without a local bound: a forged count must degrade to a
+	// short read, not a make([]byte, 4GiB).
+	count := args.Count
+	if count > nfs3.MaxIOSize {
+		count = nfs3.MaxIOSize
+	}
+	buf := bufpool.Get(int(count))
+	defer bufpool.Put(buf)
 	n, eof, err := s.fs.ReadAt(id, buf, args.Offset)
 	if err != nil {
 		res.Status = mapErr(err)

@@ -2,6 +2,7 @@ package nfsserver
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 	"time"
 
@@ -314,6 +315,44 @@ func TestFsstatFsinfoCommit(t *testing.T) {
 		cm, err := e.nfs.Commit(cr.FH, 0, 0)
 		if err != nil || cm.Status != nfs3.OK {
 			t.Errorf("commit: %v / %v", err, cm.Status)
+		}
+	})
+}
+
+// TestOversizedReadCountStaysBounded is the regression net for the
+// wire-driven allocation fix: a READ asking for 4 GiB must cost the server
+// a MaxIOSize-bounded buffer and come back as a short read, not a 4 GiB
+// make(). Run with a memory-limited process, the old code OOMed here.
+func TestOversizedReadCountStaysBounded(t *testing.T) {
+	e, cleanup := setup(t)
+	defer cleanup()
+	e.run(t, func() {
+		cr, err := e.nfs.Create(e.root, "small", 0o644, nfs3.CreateUnchecked)
+		if err != nil || cr.Status != nfs3.OK {
+			t.Errorf("create: %v / %+v", err, cr)
+			return
+		}
+		payload := []byte("twelve bytes")
+		if wr, err := e.nfs.Write(cr.FH, 0, payload, nfs3.FileSync); err != nil || wr.Status != nfs3.OK {
+			t.Errorf("write: %v / %+v", err, wr)
+			return
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		rr, err := e.nfs.Read(cr.FH, 0, 0xffffffff)
+		runtime.ReadMemStats(&after)
+		if err != nil || rr.Status != nfs3.OK {
+			t.Errorf("oversized read: %v / %v", err, rr.Status)
+			return
+		}
+		if !bytes.Equal(rr.Data, payload) || !rr.EOF {
+			t.Errorf("short read = %d bytes (eof=%v), want the %d-byte file", len(rr.Data), rr.EOF, len(payload))
+		}
+		// The request may allocate a clamped reply buffer (<= MaxIOSize) but
+		// nothing within an order of magnitude of the claimed 4 GiB.
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 16*nfs3.MaxIOSize {
+			t.Errorf("oversized READ allocated %d bytes; count clamp missing", grew)
 		}
 	})
 }

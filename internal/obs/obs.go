@@ -37,8 +37,14 @@ type Tracer struct {
 	total uint64
 }
 
+// newTracer sizes a span ring. Zero picks the default; a negative size
+// disables tracing entirely (nil tracer, every method is a nil-safe no-op),
+// which lets hot paths skip building span labels — see Node.Tracing.
 func newTracer(size int) *Tracer {
-	if size <= 0 {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
 		size = 1024
 	}
 	return &Tracer{buf: make([]Span, size)}
@@ -262,6 +268,13 @@ func (n *Node) Record(s Span) {
 	}
 	s.Node = n.name
 	n.tr.Record(s)
+}
+
+// Tracing reports whether spans recorded at this node are retained. Hot
+// paths use it to skip computing span labels (handle formatting, detail
+// strings) when no tracer will keep them.
+func (n *Node) Tracing() bool {
+	return n != nil && n.tr != nil
 }
 
 // Tracer exposes the node's ring buffer.

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -445,14 +446,17 @@ func (c *conn) Send(msg []byte) error {
 	}
 	n.mu.Unlock()
 
-	buf := make([]byte, len(msg))
+	// The in-flight copy comes from the frame pool; ownership transfers to
+	// the receiver at inbox.Put, and the server side recycles it once the
+	// request is terminal (client-received frames are never recycled).
+	buf := bufpool.Get(len(msg))
 	copy(buf, msg)
 	peer := c.peer
 	n.clk.AfterFunc(arrival-now, func() {
 		peer.inbox.Put(buf)
 	})
 	if dupArrival > 0 {
-		dup := make([]byte, len(buf))
+		dup := bufpool.Get(len(buf))
 		copy(dup, buf)
 		n.clk.AfterFunc(dupArrival-now, func() {
 			peer.inbox.Put(dup)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vclock"
@@ -38,6 +39,13 @@ type RetransmitPolicy struct {
 	// Max caps the exponentially growing wait. Zero defaults to 8*Initial;
 	// values below Initial are clamped to Initial.
 	Max time.Duration
+	// PerByte stretches the first wait by the request frame's size: the
+	// effective initial timeout is Initial + len(frame)*PerByte. Large
+	// coalesced WRITEs spend real transfer time on bandwidth-limited links;
+	// a fixed timeout sized for small calls would retransmit them while the
+	// first copy is still in flight, doubling exactly the traffic the
+	// coalescing saved. Zero leaves the timeout size-independent.
+	PerByte time.Duration
 	// Jitter bounds the deterministic per-attempt jitter added to each wait.
 	// The jitter is a hash of (Seed, XID, attempt), not a draw from a shared
 	// PRNG, so simulations stay reproducible regardless of actor scheduling.
@@ -212,7 +220,7 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 	}
 	start := node.Now()
 	body, retrans, err := c.send(xid, prog, vers, proc, cred, reqID, args, pc, timeout)
-	if node != nil {
+	if node.Tracing() {
 		c.mu.Lock()
 		shed := pc.shed
 		c.mu.Unlock()
@@ -247,7 +255,13 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 // the same XID when a policy is installed. It returns the reply body and how
 // many retransmissions were sent.
 func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte, pc *pendingCall, timeout time.Duration) (*xdr.Decoder, int, error) {
-	msg := marshalCall(xid, prog, vers, proc, cred, reqID, args)
+	// The call message is built once in a pooled encoder and re-Sent verbatim
+	// on every retransmission; nothing retains msg past a Send (transports
+	// either copy or write synchronously), so the encoder is recycled as soon
+	// as this attempt loop is over.
+	enc := bufpool.GetEncoder()
+	defer bufpool.PutEncoder(enc)
+	msg := marshalCall(enc, xid, prog, vers, proc, cred, reqID, args)
 	if err := c.conn.Send(msg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, xid)
@@ -284,6 +298,15 @@ func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, arg
 
 	deadline := c.clk.Now() + timeout
 	rto := policy.Initial
+	if policy.PerByte > 0 {
+		rto += time.Duration(len(msg)) * policy.PerByte
+	}
+	// A size-stretched initial may exceed the configured cap; the cap bounds
+	// backoff growth, never the transfer-time floor.
+	effMax := policy.Max
+	if effMax < rto {
+		effMax = rto
+	}
 	retrans := 0
 	for attempt := 0; ; attempt++ {
 		wait := rto + policy.jitterFor(xid, attempt)
@@ -339,8 +362,8 @@ func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, arg
 		c.metRetransmits.Inc()
 		c.metBackoff.ObserveDuration(wait)
 		rto *= 2
-		if rto > policy.Max {
-			rto = policy.Max
+		if rto > effMax {
+			rto = effMax
 		}
 	}
 	body, err := c.finish(xid, pc)

@@ -252,6 +252,55 @@ func TestRetransmitBackoffSchedule(t *testing.T) {
 	clk.Stop()
 }
 
+// TestRetransmitPerByteStretch pins the size-aware initial timeout: on a
+// bandwidth-limited link a large frame's transfer time alone exceeds a fixed
+// Initial, so without PerByte the client retransmits a copy that is still in
+// flight; with PerByte the first copy is given its transfer time and exactly
+// one request crosses the link.
+func TestRetransmitPerByteStretch(t *testing.T) {
+	const frame = 256 * 1024 // ~0.5s of transfer at 4 Mbit/s
+	cases := []struct {
+		name    string
+		perByte time.Duration
+		wantOne bool
+	}{
+		{"fixed-timeout-retransmits-midflight", 0, false},
+		// The echo handler sends the payload back, so the round trip pays
+		// the transfer twice; 5 us/byte covers both directions.
+		{"per-byte-stretch-sends-once", 5 * time.Microsecond, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := vclock.NewVirtual()
+			n := simnet.New(clk, simnet.Params{RTT: 40 * time.Millisecond, Bandwidth: 4_000_000 / 8})
+			srv := NewServer(clk)
+			srv.Register(testProg, testVers, testDispatch(clk))
+			inSim(t, clk, func() {
+				l, _ := n.Host("server").Listen(":111")
+				srv.Serve(l)
+				conn, _ := n.Host("client").Dial("server:111")
+				cli := NewClient(clk, conn, NoneCred())
+				cli.SetRetransmit(RetransmitPolicy{Initial: 100 * time.Millisecond, PerByte: tc.perByte})
+				args := xdr.NewEncoder()
+				args.Opaque(make([]byte, frame))
+				if _, err := cli.CallTimeout(testProg, testVers, procEcho, args.Bytes(), 30*time.Second); err != nil {
+					t.Fatalf("call: %v", err)
+				}
+				sent := n.LinkStats("client", "server").Messages
+				if tc.wantOne && sent != 1 {
+					t.Errorf("client sent %d copies, want 1 (timeout should cover the transfer time)", sent)
+				}
+				if !tc.wantOne && sent < 2 {
+					t.Errorf("client sent %d copies, want >=2 (fixed timeout fires mid-transfer)", sent)
+				}
+				cli.Close()
+				srv.Close()
+			})
+			clk.Stop()
+		})
+	}
+}
+
 // TestXIDWrapSkipsPending is the regression test for the XID-collision bug:
 // after the 32-bit counter wraps, allocation must skip 0 and any XID that is
 // still pending, or a reply to the old call would complete the new one.

@@ -4,10 +4,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/vclock"
-	"repro/internal/xdr"
 )
 
 // DispatchFunc handles one procedure call for a registered program. It
@@ -275,8 +275,13 @@ func (s *Server) serveConn(conn transport.Conn) {
 		}
 		m, err := parseMsg(raw)
 		if err != nil || m.mtype != msgCall {
+			bufpool.Put(raw)
 			continue
 		}
+		// The frame is recycled once the request reaches its terminal state:
+		// replayed here, shed, or handled. Client connections never recycle —
+		// see parsedMsg.raw.
+		m.raw = raw
 		if cache != nil {
 			if e := cache.lookup(m.xid); e != nil {
 				// Retransmitted XID: replay the cached reply, or stay silent
@@ -288,6 +293,7 @@ func (s *Server) serveConn(conn transport.Conn) {
 				} else {
 					s.metDRCBusy.Inc()
 				}
+				m.recycleFrame()
 				continue
 			}
 		}
@@ -339,6 +345,7 @@ func (s *Server) shed(conn transport.Conn, m *parsedMsg, reason string) {
 		})
 	}
 	s.reply(conn, nil, m.xid, TryLater, nil)
+	m.recycleFrame()
 }
 
 // reply finishes a call: the wire reply is recorded in the connection's
@@ -348,6 +355,20 @@ func (s *Server) reply(conn transport.Conn, cache *drc, xid uint32, stat AcceptS
 	raw := marshalReply(xid, stat, results)
 	if cache != nil {
 		cache.complete(xid, raw)
+	}
+	conn.Send(raw)
+}
+
+// sendReply records and sends reply bytes that alias a pooled encoder. The
+// DRC must own its replay bytes outright — the encoder is recycled as soon as
+// the caller returns — so it stores a copy, never the alias. Recording still
+// happens before Send so a retransmission racing the reply replays identical
+// bytes.
+func (s *Server) sendReply(conn transport.Conn, cache *drc, xid uint32, raw []byte) {
+	if cache != nil {
+		cp := make([]byte, len(raw))
+		copy(cp, raw)
+		cache.complete(xid, cp)
 	}
 	conn.Send(raw)
 }
@@ -370,27 +391,36 @@ func (s *Server) handle(conn transport.Conn, cache *drc, m *parsedMsg, yield fun
 			stat = ProgMismatch
 		}
 		s.reply(conn, cache, m.xid, stat, nil)
+		m.recycleFrame()
 		return
 	}
 
+	// The reply is encoded once, in place: the header goes into a pooled
+	// encoder first and the dispatch function appends its results directly
+	// after it, so Success replies need no results-to-message copy and, at
+	// steady state, no allocation at all.
+	enc := bufpool.GetEncoder()
+	beginReply(enc, m.xid)
 	call := &Call{
-		XID:   m.xid,
-		Prog:  m.prog,
-		Vers:  m.vers,
-		Proc:  m.proc,
-		Cred:  m.cred,
-		ReqID: m.reqID,
-		Args:  m.body,
-		Reply: xdr.NewEncoder(),
-		yield: yield,
+		XID:    m.xid,
+		Prog:   m.prog,
+		Vers:   m.vers,
+		Proc:   m.proc,
+		Cred:   m.cred,
+		ReqID:  m.reqID,
+		Args:   m.body,
+		Reply:  enc,
+		Traced: node.Tracing(),
+		yield:  yield,
 	}
 	start := node.Now()
 	stat := fn(call)
-	var results []byte
-	if stat == Success {
-		results = call.Reply.Bytes()
+	if stat != Success {
+		// Discard whatever the handler half-encoded and patch the stat slot.
+		enc.Truncate(replyHeaderLen)
+		enc.SetUint32At(replyStatOff, uint32(stat))
 	}
-	if node != nil {
+	if node.Tracing() {
 		sp := obs.Span{
 			Req:    call.ReqID,
 			Op:     "serve " + procLabel(procName, m.prog, m.proc),
@@ -413,5 +443,7 @@ func (s *Server) handle(conn transport.Conn, cache *drc, m *parsedMsg, yield fun
 		}
 		node.Record(sp)
 	}
-	s.reply(conn, cache, m.xid, stat, results)
+	s.sendReply(conn, cache, m.xid, enc.Bytes())
+	bufpool.PutEncoder(enc)
+	m.recycleFrame()
 }

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/xdr"
 )
 
@@ -142,6 +143,12 @@ type Call struct {
 	// Reply accumulates the procedure results on Success.
 	Reply *xdr.Encoder
 
+	// Traced reports whether a tracer will consume the span annotations
+	// below. Dispatch functions should skip computing expensive labels
+	// (e.g. formatting a file handle) when it is false — the hot path pays
+	// for trace strings only when someone is recording them.
+	Traced bool
+
 	// Span annotations. A dispatch function may fill these in so the
 	// server's tracer records a richer serve span (file handle, cache
 	// hit/miss detail, payload size) without the RPC layer understanding
@@ -183,12 +190,12 @@ type Error struct {
 
 func (e *Error) Error() string { return "sunrpc: " + e.Stat.String() }
 
-// marshalCall builds the wire form of a call message. A non-zero reqID is
-// carried in an AuthTrace verifier; zero keeps the traditional AUTH_NONE
-// verifier so untraced calls are byte-identical to the pre-tracing wire
-// format.
-func marshalCall(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte) []byte {
-	e := xdr.NewEncoder()
+// marshalCall encodes the wire form of a call message into e, which the
+// caller supplies (typically pooled) and owns; the returned bytes alias it.
+// A non-zero reqID is carried in an AuthTrace verifier; zero keeps the
+// traditional AUTH_NONE verifier so untraced calls are byte-identical to the
+// pre-tracing wire format.
+func marshalCall(e *xdr.Encoder, xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte) []byte {
 	e.Uint32(xid)
 	e.Uint32(msgCall)
 	e.Uint32(2) // RPC version
@@ -198,10 +205,9 @@ func marshalCall(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []b
 	e.Uint32(cred.Flavor)
 	e.Opaque(cred.Body)
 	if reqID != 0 {
-		ve := xdr.NewEncoder()
-		ve.Uint64(reqID)
 		e.Uint32(AuthTrace)
-		e.Opaque(ve.Bytes())
+		e.Uint32(8) // verifier body: the 8-byte request ID, no padding needed
+		e.Uint64(reqID)
 	} else {
 		e.Uint32(AuthNone)
 		e.Opaque(nil)
@@ -209,6 +215,26 @@ func marshalCall(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []b
 	e.FixedOpaque(args)
 	// FixedOpaque pads, but args are already XDR so always 4-aligned.
 	return e.Bytes()
+}
+
+// Accepted-reply header layout, used by the server's reused reply encoders:
+// xid, msgReply, msgAccepted, verifier flavor, empty verifier body, stat.
+const (
+	replyHeaderLen = 24
+	replyStatOff   = 20
+)
+
+// beginReply writes the accepted-reply header into e with a Success stat that
+// the server patches via SetUint32At(replyStatOff) once the handler returns.
+// Procedure results append directly after the header, so a reply is encoded
+// once, in place, with no results-to-message copy.
+func beginReply(e *xdr.Encoder, xid uint32) {
+	e.Uint32(xid)
+	e.Uint32(msgReply)
+	e.Uint32(msgAccepted)
+	e.Uint32(AuthNone) // verifier
+	e.Opaque(nil)
+	e.Uint32(uint32(Success))
 }
 
 // marshalReply builds the wire form of an accepted reply.
@@ -237,6 +263,20 @@ type parsedMsg struct {
 	acceptStat AcceptStat
 	// body holds the procedure args/results
 	body *xdr.Decoder
+	// raw is the received frame body aliases. Servers recycle it to the
+	// buffer pool once the request reaches its terminal state (handled,
+	// shed, or discarded); clients leave it nil — their reply bodies escape
+	// to callers, so client frames are never recycled.
+	raw []byte
+}
+
+// recycleFrame returns the request's frame to the buffer pool. Callers must
+// be past every use of body, cred references, and OpaqueRef'd args.
+func (m *parsedMsg) recycleFrame() {
+	if m.raw != nil {
+		bufpool.Put(m.raw)
+		m.raw = nil
+	}
 }
 
 func parseMsg(raw []byte) (*parsedMsg, error) {
@@ -279,7 +319,7 @@ func parseMsg(raw []byte) (*parsedMsg, error) {
 		if err != nil {
 			return nil, err
 		}
-		vbody, err := d.Opaque(maxCred)
+		vbody, err := d.OpaqueRef(maxCred) // consumed before returning
 		if err != nil {
 			return nil, err
 		}
@@ -295,11 +335,11 @@ func parseMsg(raw []byte) (*parsedMsg, error) {
 		if m.replyStat != msgAccepted {
 			return nil, fmt.Errorf("sunrpc: call denied by server")
 		}
-		// Verifier.
+		// Verifier (discarded).
 		if _, err = d.Uint32(); err != nil {
 			return nil, err
 		}
-		if _, err = d.Opaque(maxCred); err != nil {
+		if _, err = d.OpaqueRef(maxCred); err != nil {
 			return nil, err
 		}
 		stat, err := d.Uint32()

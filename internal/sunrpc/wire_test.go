@@ -4,13 +4,15 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"repro/internal/xdr"
 )
 
 // TestCallWireFormatMatchesRFC5531 checks the exact byte layout of a call
 // message against the RFC's XDR definition, field by field.
 func TestCallWireFormatMatchesRFC5531(t *testing.T) {
 	cred := SysCred("host", 7, 9)
-	msg := marshalCall(0x11223344, 100003, 3, 1, cred, 0, []byte{0xAA, 0xBB, 0xCC, 0xDD})
+	msg := marshalCall(xdr.NewEncoder(), 0x11223344, 100003, 3, 1, cred, 0, []byte{0xAA, 0xBB, 0xCC, 0xDD})
 
 	u32 := func(off int) uint32 { return binary.BigEndian.Uint32(msg[off:]) }
 	if u32(0) != 0x11223344 {
@@ -80,7 +82,7 @@ func TestReplyWireFormatMatchesRFC5531(t *testing.T) {
 // TestParseRejectsGarbage ensures the parser fails cleanly on corrupt and
 // truncated messages instead of panicking.
 func TestParseRejectsGarbage(t *testing.T) {
-	good := marshalCall(1, 2, 3, 4, NoneCred(), 0, nil)
+	good := marshalCall(xdr.NewEncoder(), 1, 2, 3, 4, NoneCred(), 0, nil)
 	for cut := 0; cut < len(good); cut += 3 {
 		if _, err := parseMsg(good[:cut]); err == nil && cut < 32 {
 			t.Errorf("truncated message of %d bytes parsed", cut)
@@ -102,7 +104,7 @@ func TestParseRejectsGarbage(t *testing.T) {
 
 func TestParseRoundTrip(t *testing.T) {
 	cred := SysCred("machine-name", 1000, 2000)
-	raw := marshalCall(42, 100003, 3, 6, cred, 0, []byte{9, 9, 9, 9})
+	raw := marshalCall(xdr.NewEncoder(), 42, 100003, 3, 6, cred, 0, []byte{9, 9, 9, 9})
 	m, err := parseMsg(raw)
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +135,7 @@ func TestParseRoundTrip(t *testing.T) {
 // verifier so untraced traffic is byte-identical to the old wire format.
 func TestTraceVerifierRoundTrip(t *testing.T) {
 	const rid = uint64(3)<<48 | 77
-	raw := marshalCall(7, 100003, 3, 6, NoneCred(), rid, []byte{1, 2, 3, 4})
+	raw := marshalCall(xdr.NewEncoder(), 7, 100003, 3, 6, NoneCred(), rid, []byte{1, 2, 3, 4})
 	m, err := parseMsg(raw)
 	if err != nil {
 		t.Fatal(err)
@@ -142,7 +144,7 @@ func TestTraceVerifierRoundTrip(t *testing.T) {
 		t.Fatalf("reqID = %#x, want %#x", m.reqID, rid)
 	}
 
-	untraced := marshalCall(7, 100003, 3, 6, NoneCred(), 0, []byte{1, 2, 3, 4})
+	untraced := marshalCall(xdr.NewEncoder(), 7, 100003, 3, 6, NoneCred(), 0, []byte{1, 2, 3, 4})
 	u32 := func(msg []byte, off int) uint32 { return binary.BigEndian.Uint32(msg[off:]) }
 	if u32(untraced, 32) != AuthNone || u32(untraced, 36) != 0 {
 		t.Fatalf("untraced verifier = %d/%d, want AUTH_NONE/empty", u32(untraced, 32), u32(untraced, 36))

@@ -12,6 +12,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/transport"
 )
 
@@ -99,8 +100,11 @@ func (c *conn) Recv() ([]byte, error) {
 	if n > MaxMessage {
 		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	// Frames come from the shared pool; the RPC server recycles them once a
+	// request is terminal, while client-received frames stay with the caller.
+	buf := bufpool.Get(int(n))
 	if _, err := io.ReadFull(c.nc, buf); err != nil {
+		bufpool.Put(buf)
 		return nil, mapErr(err)
 	}
 	return buf, nil

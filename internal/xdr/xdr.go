@@ -30,6 +30,28 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the number of encoded bytes so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Reset empties the encoder while keeping its backing storage, so a pooled
+// encoder re-encodes without reallocating once it has grown to working size.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Truncate discards everything encoded after the first n bytes. It panics if
+// n exceeds the current length, matching bytes.Buffer.Truncate.
+func (e *Encoder) Truncate(n int) {
+	if n < 0 || n > len(e.buf) {
+		panic("xdr: Truncate out of range")
+	}
+	e.buf = e.buf[:n]
+}
+
+// SetUint32At overwrites a previously encoded 32-bit value at byte offset off.
+// Used to patch a status or length slot reserved earlier in the same message.
+func (e *Encoder) SetUint32At(off int, v uint32) {
+	if off < 0 || off+4 > len(e.buf) {
+		panic("xdr: SetUint32At out of range")
+	}
+	binary.BigEndian.PutUint32(e.buf[off:], v)
+}
+
 // Uint32 encodes a 32-bit unsigned integer.
 func (e *Encoder) Uint32(v uint32) {
 	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
@@ -81,6 +103,13 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over buf. The decoder does not copy buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset points the decoder at buf and rewinds it, so one decoder can be
+// reused across many frames without allocating.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+}
 
 // Remaining returns the number of unconsumed bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
@@ -135,6 +164,32 @@ func (d *Decoder) Opaque(maxLen uint32) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrLength, n, maxLen)
 	}
 	return d.FixedOpaque(int(n))
+}
+
+// OpaqueRef decodes a variable-length opaque bounded by maxLen (0 = unbounded)
+// and returns a slice that ALIASES the decoder's underlying buffer — no copy is
+// made. Callers must either consume the bytes before the buffer is recycled or
+// copy them out; it exists for trusted same-frame consumers on the hot path.
+func (d *Decoder) OpaqueRef(maxLen uint32) ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if maxLen > 0 && n > maxLen {
+		return nil, fmt.Errorf("%w: %d > %d", ErrLength, n, maxLen)
+	}
+	if int(n) < 0 || d.Remaining() < int(n) {
+		return nil, ErrShortBuffer
+	}
+	out := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	if pad := (4 - int(n)%4) % 4; pad > 0 {
+		if d.Remaining() < pad {
+			return nil, ErrShortBuffer
+		}
+		d.off += pad
+	}
+	return out, nil
 }
 
 // FixedOpaque decodes n bytes plus padding. The returned slice is a copy.
