@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov|ablate|meta|sched|hotpath]
-//	           [-scale N] [-q] [-metrics-out file] [-json-out file]
+//	gvfs-bench [-exp all|fig4|fig5|fig6|fig7|fig8|lanov|ablate|meta|sched|hotpath|slo]
+//	           [-scale N] [-q] [-metrics-out file] [-json-out file] [-trace-out file]
 //
 // Scale 1 is the paper's full workload size; larger values shrink the
 // workloads proportionally for quick runs. With -metrics-out, every
 // deployment dumps its unified metrics registry (Prometheus text format) to
-// the named file, and the run fails if the dump is empty or malformed.
+// the named file, and the run fails if the dump is empty or malformed. With
+// -trace-out, trace-capable experiments (slo) write a JSON span+metrics dump
+// that cmd/gvfs-trace analyzes offline.
 package main
 
 import (
@@ -25,20 +27,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate, meta, sched, hotpath")
+	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate, meta, sched, hotpath, slo")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
 	quiet := flag.Bool("q", false, "suppress per-setup progress lines")
 	metricsOut := flag.String("metrics-out", "", "write per-deployment metrics dumps to this file (- for stderr)")
-	jsonOut := flag.String("json-out", "", "write the machine-readable result of JSON-capable experiments (meta, sched, hotpath) to this file")
+	jsonOut := flag.String("json-out", "", "write the machine-readable result of JSON-capable experiments (meta, sched, hotpath, slo) to this file")
+	traceOut := flag.String("trace-out", "", "write a JSON trace dump from trace-capable experiments (slo) to this file, for gvfs-trace")
 	flag.Parse()
 
-	if err := run(os.Stdout, *exp, *scale, *quiet, *metricsOut, *jsonOut); err != nil {
+	if err := run(os.Stdout, *exp, *scale, *quiet, *metricsOut, *jsonOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut string) error {
+func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut, traceOut string) error {
 	opt := bench.Options{Scale: scale}
 	if !quiet {
 		opt.Progress = os.Stderr
@@ -46,6 +49,10 @@ func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut str
 	var metricsBuf bytes.Buffer
 	if metricsOut != "" {
 		opt.MetricsOut = &metricsBuf
+	}
+	var traceBuf bytes.Buffer
+	if traceOut != "" {
+		opt.TraceOut = &traceBuf
 	}
 	type experiment struct {
 		name string
@@ -146,6 +153,25 @@ func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut str
 			}
 			return nil
 		}},
+		{"slo", func() error {
+			r, err := bench.RunSLO(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			if jsonOut != "" && exp == "slo" {
+				f, err := os.Create(jsonOut)
+				if err != nil {
+					return fmt.Errorf("create %s: %w", jsonOut, err)
+				}
+				defer f.Close()
+				if err := r.WriteJSON(f); err != nil {
+					return fmt.Errorf("write %s: %w", jsonOut, err)
+				}
+				fmt.Fprintf(w, "json: %s\n", jsonOut)
+			}
+			return nil
+		}},
 		{"sched", func() error {
 			r, err := bench.RunSched(opt)
 			if err != nil {
@@ -201,6 +227,21 @@ func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut str
 			return fmt.Errorf("write metrics dump: %w", err)
 		}
 		fmt.Fprintf(w, "metrics: %d samples -> %s\n", samples, metricsOut)
+	}
+	if traceOut != "" {
+		if traceBuf.Len() == 0 {
+			return fmt.Errorf("trace dump requested but experiment %q produced none (only slo writes traces)", exp)
+		}
+		// Round-trip the dump before writing so gvfs-trace is guaranteed to
+		// be able to load what we hand it.
+		d, err := obs.ReadTraceDump(bytes.NewReader(traceBuf.Bytes()))
+		if err != nil {
+			return fmt.Errorf("trace dump malformed: %w", err)
+		}
+		if err := os.WriteFile(traceOut, traceBuf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("write trace dump: %w", err)
+		}
+		fmt.Fprintf(w, "trace: %d spans (%d dropped) -> %s\n", len(d.Spans), d.Dropped, traceOut)
 	}
 	return nil
 }

@@ -12,7 +12,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig8", 4, true, "", ""); err != nil {
+	if err := run(&sb, "fig8", 4, true, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -26,7 +26,7 @@ func TestRunSingleExperiment(t *testing.T) {
 func TestRunMetaJSON(t *testing.T) {
 	var sb strings.Builder
 	out := filepath.Join(t.TempDir(), "meta.json")
-	if err := run(&sb, "meta", 10, true, "", out); err != nil {
+	if err := run(&sb, "meta", 10, true, "", out, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -46,7 +46,7 @@ func TestRunMetaJSON(t *testing.T) {
 func TestRunMetricsDump(t *testing.T) {
 	var sb strings.Builder
 	out := filepath.Join(t.TempDir(), "metrics.prom")
-	if err := run(&sb, "fig8", 8, true, out, ""); err != nil {
+	if err := run(&sb, "fig8", 8, true, out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -67,9 +67,42 @@ func TestRunMetricsDump(t *testing.T) {
 	}
 }
 
+func TestRunSLO(t *testing.T) {
+	var sb strings.Builder
+	jsonOut := filepath.Join(t.TempDir(), "slo.json")
+	traceOut := filepath.Join(t.TempDir(), "trace.json")
+	if err := run(&sb, "slo", 3, true, "", jsonOut, traceOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "slo"`, `"staleness_violations": 0`, `"max_seg_sum_error"`, `"segment_share"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("json missing %s", want)
+		}
+	}
+	tf, err := os.Open(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	dump, err := obs.ReadTraceDump(tf)
+	if err != nil {
+		t.Fatalf("trace dump does not parse: %v", err)
+	}
+	if len(dump.Spans) == 0 {
+		t.Error("trace dump has no spans")
+	}
+	if !strings.Contains(sb.String(), "Consistency observatory") {
+		t.Error("rendered output missing observatory summary")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig99", 1, true, "", ""); err == nil {
+	if err := run(&sb, "fig99", 1, true, "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

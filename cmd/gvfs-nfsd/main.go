@@ -23,6 +23,7 @@ import (
 	"repro/internal/memfs"
 	"repro/internal/nfsserver"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpnet"
 	"repro/internal/vclock"
@@ -31,7 +32,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":2049", "TCP listen address")
 	seed := flag.String("seed", "", "optional local directory to pre-populate the export from")
-	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json, /spans, /trace and /attr (empty = disabled)")
 	workers := flag.Int("workers", runtime.NumCPU()*4, "request worker-pool size (0 = unbounded legacy spawn)")
 	queueDepth := flag.Int("queue-depth", 0, "per-client queue bound (0 = scheduler default)")
 	flag.Parse()
@@ -58,9 +59,11 @@ func run(listen, seed, metrics string, workers, queueDepth int) error {
 	// retransmission policy, so it must never shed.
 	rpcSrv.SetSched(sunrpc.SchedConfig{Workers: workers, QueueDepth: queueDepth})
 	if metrics != "" {
+		mux := o.Handler(nil)
+		mux.HandleFunc("/attr", attr.Handler(o.Spans))
 		go func() {
 			log.Printf("gvfs-nfsd: metrics on http://%s/metrics", metrics)
-			if err := http.ListenAndServe(metrics, o.Handler(nil)); err != nil {
+			if err := http.ListenAndServe(metrics, mux); err != nil {
 				log.Printf("gvfs-nfsd: metrics server: %v", err)
 			}
 		}()

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpnet"
 	"repro/internal/vclock"
@@ -36,7 +37,7 @@ func main() {
 	session := flag.String("session", "default", "session key")
 	writeback := flag.Bool("writeback", false, "enable write-back caching")
 	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
-	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json, /spans, /trace and /attr (empty = disabled)")
 	workers := flag.Int("workers", runtime.NumCPU()*4, "callback-service worker-pool size (0 = unbounded legacy spawn)")
 	queueDepth := flag.Int("queue-depth", 0, "callback-service queue bound (0 = scheduler default)")
 	flag.Parse()
@@ -74,9 +75,11 @@ func run(listen, cbListen, cbAddr, upstream, model, id, session string, writebac
 	cred := core.SessionCred{SessionKey: session, ClientID: id, CallbackAddr: cbAddr}
 	proxy := core.NewProxyClient(clk, cfg, sunrpc.NewClient(clk, upConn, sunrpc.NoneCred()), cred)
 	if metrics != "" {
+		mux := o.Handler(proxy.PublishMetrics)
+		mux.HandleFunc("/attr", attr.Handler(o.Spans))
 		go func() {
 			log.Printf("gvfs-proxyc: metrics on http://%s/metrics", metrics)
-			if err := http.ListenAndServe(metrics, o.Handler(proxy.PublishMetrics)); err != nil {
+			if err := http.ListenAndServe(metrics, mux); err != nil {
 				log.Printf("gvfs-proxyc: metrics server: %v", err)
 			}
 		}()

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/sunrpc"
 	"repro/internal/tcpnet"
 	"repro/internal/transport"
@@ -31,7 +32,7 @@ func main() {
 	model := flag.String("model", "polling", "consistency model: polling or delegation")
 	poll := flag.Duration("poll-period", 30*time.Second, "invalidation polling window")
 	expiry := flag.Duration("deleg-expiry", 10*time.Minute, "delegation expiration period")
-	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json and /spans (empty = disabled)")
+	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json, /spans, /trace and /attr (empty = disabled)")
 	workers := flag.Int("workers", runtime.NumCPU()*4, "request worker-pool size (0 = unbounded legacy spawn)")
 	queueDepth := flag.Int("queue-depth", 0, "per-client queue bound (0 = scheduler default)")
 	rateLimit := flag.Float64("rate-limit", 0, "global admission rate in ops/sec (0 = unlimited)")
@@ -75,9 +76,11 @@ func run(listen, upstream, model string, poll, expiry time.Duration, metrics str
 	dial := func(addr string) (transport.Conn, error) { return tn.Dial(addr) }
 	srv := core.NewProxyServer(clk, cfg, up, dial, &core.MemStateStore{})
 	if metrics != "" {
+		mux := o.Handler(srv.PublishMetrics)
+		mux.HandleFunc("/attr", attr.Handler(o.Spans))
 		go func() {
 			log.Printf("gvfs-proxyd: metrics on http://%s/metrics", metrics)
-			if err := http.ListenAndServe(metrics, o.Handler(srv.PublishMetrics)); err != nil {
+			if err := http.ListenAndServe(metrics, mux); err != nil {
 				log.Printf("gvfs-proxyd: metrics server: %v", err)
 			}
 		}()

@@ -1,0 +1,148 @@
+// Command gvfs-trace analyzes a trace dump offline: the JSON container
+// written by gvfs-bench -trace-out, a chaos run, a daemon's /trace endpoint,
+// or any Deployment.WriteTraceDump call. It answers "where did my p99 go"
+// without re-running anything: critical-path latency attribution per op plus
+// the slowest requests' exact segment partitions, and the staleness
+// observatory's measured ages, propagation lags, and bound violations.
+//
+// Usage:
+//
+//	gvfs-trace [-in dump.json] [-top N] [-local] [-spans]
+//
+// -in defaults to stdin. -local roots attribution at each request's
+// outermost retained span instead of requiring kernel-client spans (use it
+// on dumps taken from a single real-TCP daemon). -spans additionally prints
+// the raw span table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attr"
+)
+
+func main() {
+	in := flag.String("in", "", "trace dump file (empty = stdin)")
+	top := flag.Int("top", 10, "how many slowest requests to itemize")
+	local := flag.Bool("local", false, "root attribution at each request's outermost span (single-daemon dumps)")
+	spans := flag.Bool("spans", false, "also print the raw span table")
+	flag.Parse()
+
+	if err := run(os.Stdout, *in, *top, *local, *spans); err != nil {
+		fmt.Fprintln(os.Stderr, "gvfs-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, in string, top int, local, spans bool) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	d, err := obs.ReadTraceDump(r)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "trace dump: %d spans", len(d.Spans))
+	if d.Dropped > 0 {
+		fmt.Fprintf(w, " (INCOMPLETE: %d more dropped by bounded rings)", d.Dropped)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+
+	bds := attr.Analyze(d.Spans)
+	if local {
+		bds = attr.AnalyzeLocal(d.Spans)
+	} else if len(bds) == 0 && len(d.Spans) > 0 {
+		fmt.Fprintln(w, "no kernel-client requests found; falling back to local-root attribution (-local)")
+		bds = attr.AnalyzeLocal(d.Spans)
+	}
+	fmt.Fprint(w, attr.FormatReport(bds, top))
+
+	fmt.Fprintln(w)
+	stalenessReport(w, d.Metrics)
+
+	if spans {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, obs.FormatSpans(d.Spans, d.Dropped))
+	}
+	return nil
+}
+
+// stalenessReport summarizes the staleness observatory's series out of the
+// dump's metrics snapshot: per-model measured ages and violations, and
+// per-channel invalidation propagation lag.
+func stalenessReport(w io.Writer, snap obs.Snapshot) {
+	fmt.Fprintln(w, "STALENESS OBSERVATORY")
+	models := labelValues(snap.Histograms, "gvfs_staleness_age", "model")
+	if len(models) == 0 {
+		fmt.Fprintln(w, "no staleness series in dump (deployment ran without the oracle)")
+		return
+	}
+	fmt.Fprintf(w, "%-8s %10s %8s %12s %12s %12s\n", "MODEL", "SERVES", "VIOLS", "AGE_P50", "AGE_P95", "AGE_MAX")
+	for _, model := range models {
+		h := snap.Histograms[obs.Label("gvfs_staleness_age", "model", model)]
+		viols := snap.Counters[obs.Label("gvfs_staleness_violations_total", "model", model)]
+		fmt.Fprintf(w, "%-8s %10d %8d %12s %12s %12s\n",
+			model, h.Count, viols,
+			leQuantile(h, 0.50), leQuantile(h, 0.95), leQuantile(h, 1))
+	}
+	channels := labelValues(snap.Histograms, "gvfs_inv_propagation", "channel")
+	if len(channels) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-8s %10s %12s %12s\n", "CHANNEL", "INVALS", "LAG_P50", "LAG_P95")
+	for _, ch := range channels {
+		h := snap.Histograms[obs.Label("gvfs_inv_propagation", "channel", ch)]
+		fmt.Fprintf(w, "%-8s %10d %12s %12s\n", ch, h.Count, leQuantile(h, 0.50), leQuantile(h, 0.95))
+	}
+}
+
+// labelValues extracts the sorted distinct values one label takes across a
+// family's series.
+func labelValues[V any](series map[string]V, fam, label string) []string {
+	prefix := fam + "{" + label + `="`
+	var out []string
+	for name := range series {
+		if strings.HasPrefix(name, prefix) {
+			if i := strings.IndexByte(name[len(prefix):], '"'); i >= 0 {
+				out = append(out, name[len(prefix):len(prefix)+i])
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// leQuantile reads a quantile from a histogram snapshot as the upper bound
+// of the bucket holding the nearest-rank observation ("≤ bound").
+func leQuantile(h obs.HistogramSnapshot, q float64) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	rank := int64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, b := range h.Bounds {
+		cum += h.Counts[i]
+		if cum >= rank {
+			return "<=" + time.Duration(b).String()
+		}
+	}
+	return ">" + time.Duration(h.Bounds[len(h.Bounds)-1]).String()
+}

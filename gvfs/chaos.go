@@ -15,6 +15,7 @@ import (
 	"repro/internal/nfs3"
 	"repro/internal/nfsclient"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/simnet"
 )
 
@@ -237,6 +238,19 @@ type ChaosReport struct {
 	// Sheds totals gvfs_server_shed_total across every node: requests the
 	// bounded scheduling layer answered with TRY_LATER (Overload mode).
 	Sheds int64
+
+	// StalenessViolations totals gvfs_staleness_violations_total across both
+	// models: cache serves of data superseded by a remote commit inside the
+	// client's freshness horizon. Zero on a correct run — the observatory
+	// measures staleness the models permit, never staleness they forbid.
+	StalenessViolations int64
+	// Attribution is the formatted critical-path latency report over every
+	// retained kernel request: per-op percentiles and segment shares, plus
+	// the slowest requests' breakdowns.
+	Attribution string
+	// DroppedSpans counts spans the bounded rings overwrote before the final
+	// harvest; nonzero means Traces and Attribution are lower bounds.
+	DroppedSpans uint64
 }
 
 // traceSpans bounds how many spans a per-path violation trace retains.
@@ -576,13 +590,16 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 			if rep.Traces == nil {
 				rep.Traces = make(map[string]string)
 			}
-			rep.Traces[p] = obs.FormatSpans(spans)
+			rep.Traces[p] = obs.FormatSpans(spans, d.Obs.DroppedSpans())
 		}
 	}
 	rep.Metrics = d.PublishMetrics()
 	rep.Retransmits = rep.Metrics.SumCounters("gvfs_rpc_retransmits_total")
 	rep.DRCHits = rep.Metrics.SumCounters("gvfs_rpc_drc_hits_total")
 	rep.Sheds = rep.Metrics.SumCounters("gvfs_server_shed_total")
+	rep.StalenessViolations = rep.Metrics.SumCounters("gvfs_staleness_violations_total")
+	rep.Attribution = attr.FormatReport(d.Attribution(), 5)
+	rep.DroppedSpans = d.Obs.DroppedSpans()
 
 	rep.NetEvents = d.Net.Events()
 	rep.NetStats = d.Net.TotalStats()

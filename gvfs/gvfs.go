@@ -37,6 +37,7 @@ import (
 	"repro/internal/nfsclient"
 	"repro/internal/nfsserver"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/secure"
 	"repro/internal/simnet"
 	"repro/internal/sunrpc"
@@ -82,6 +83,13 @@ type Deployment struct {
 	// the emulated kernel clients flow through every proxy hop, and all
 	// components share one metrics registry.
 	Obs *obs.Obs
+	// Staleness is the deployment-global staleness oracle behind the
+	// consistency observatory: proxy servers record commits into it, proxy
+	// clients report cache-served reads against it. It lives here (not per
+	// session) so it survives proxy restarts and spans every writer.
+	Staleness *obs.StalenessOracle
+
+	attrObs *attr.Observatory
 
 	serverHost string
 	nfsAddr    string
@@ -127,6 +135,8 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		Net:        net,
 		FS:         fs,
 		Obs:        o,
+		Staleness:  obs.NewStalenessOracle(clk.Now, o.Registry()),
+		attrObs:    attr.NewObservatory(o.Registry()),
 		serverHost: cfg.ServerHost,
 		nfsAddr:    cfg.ServerHost + ":2049",
 		rpcSrv:     rpcSrv,
@@ -276,6 +286,7 @@ func (d *Deployment) NewSession(name string, cfg core.Config) (*Session, error) 
 	// s.Cfg keeps the wiring so RestartProxyServer inherits it.
 	cfg.Obs = d.Obs
 	cfg.ObsName = name
+	cfg.Staleness = d.Staleness
 	host := d.Net.Host(d.serverHost)
 	conn, err := host.Dial(d.nfsAddr)
 	if err != nil {
@@ -652,6 +663,10 @@ func (d *Deployment) PublishMetrics() obs.Snapshot {
 			m.Proxy.PublishMetrics()
 		}
 	}
+	// Fold newly completed kernel requests into the critical-path
+	// attribution histograms (gvfs_attr_seconds); the observatory's seen-set
+	// makes repeated publishes idempotent.
+	d.attrObs.Harvest(d.Obs.Spans())
 	diag := d.Clock.Diag()
 	reg := d.Obs.Registry()
 	reg.Gauge("vclock_now_ns").Set(int64(diag.Now))
@@ -659,6 +674,22 @@ func (d *Deployment) PublishMetrics() obs.Snapshot {
 	reg.Gauge("vclock_runnable").Set(int64(diag.Runnable))
 	reg.Gauge("vclock_timers").Set(int64(diag.Timers))
 	return reg.Snapshot()
+}
+
+// Attribution decomposes every retained kernel request's wall time into
+// critical-path segments (client cache service, queue wait, wire transit,
+// retransmit stalls, shed backoff, recall blocking, server handler). The
+// segments of each request sum exactly to its end-to-end latency.
+func (d *Deployment) Attribution() []attr.Breakdown {
+	return attr.Analyze(d.Obs.Spans())
+}
+
+// WriteTraceDump publishes metrics and writes the deployment's full
+// observatory state — spans, ring-drop count, metrics snapshot — as the JSON
+// container cmd/gvfs-trace consumes offline.
+func (d *Deployment) WriteTraceDump(w io.Writer) error {
+	snap := d.PublishMetrics()
+	return d.Obs.DumpWith(snap).Write(w)
 }
 
 // WriteMetrics publishes and writes the unified registry in Prometheus

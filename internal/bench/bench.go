@@ -32,6 +32,10 @@ type Options struct {
 	// the unified obs registry per deployment, labeled with a comment line
 	// naming the setup it came from.
 	MetricsOut io.Writer
+	// TraceOut, when non-nil, receives a single JSON trace dump (spans,
+	// dropped-span count, metrics snapshot) from experiments that support it
+	// (currently slo's polling deployment), for offline gvfs-trace analysis.
+	TraceOut io.Writer
 }
 
 // metricsMu serializes dumps when experiments share one MetricsOut.

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSLOShape: the observatory self-test must hold its own gates at reduced
+// scale — exact attribution (within the 1% tolerance), measured staleness
+// under polling, zero violations under both models, and a trace dump that
+// round-trips for offline analysis.
+func TestSLOShape(t *testing.T) {
+	var trace bytes.Buffer
+	res, err := RunSLO(Options{Scale: 3, TraceOut: &trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 2 {
+		t.Fatalf("got %d models, want polling and delegation", len(res.Models))
+	}
+	byModel := map[string]SLOModel{}
+	for _, m := range res.Models {
+		byModel[m.Model] = m
+	}
+	for _, m := range res.Models {
+		if m.Requests == 0 {
+			t.Errorf("%s: no requests attributed", m.Model)
+		}
+		if m.MaxSumError > 0.01 {
+			t.Errorf("%s: attribution sum error %.3g exceeds 1%%", m.Model, m.MaxSumError)
+		}
+		if m.StalenessServes == 0 {
+			t.Errorf("%s: oracle scored no cache serves", m.Model)
+		}
+		if m.StalenessViolations != 0 {
+			t.Errorf("%s: %d staleness violations — the model broke its advertised bound",
+				m.Model, m.StalenessViolations)
+		}
+		if m.Propagations == 0 {
+			t.Errorf("%s: invalidation channel %q delivered nothing", m.Model, m.PropagationChannel)
+		}
+	}
+	// Polling really serves stale-but-in-bound data; delegation stays fresh.
+	if byModel["poll"].StalenessMax == 0 {
+		t.Error("poll: zero measured staleness despite cross-client writes between polls")
+	}
+	if byModel["deleg"].StalenessMax != 0 {
+		t.Errorf("deleg: measured staleness %v despite synchronous recalls", byModel["deleg"].StalenessMax)
+	}
+
+	// The JSON summary must encode and carry the gates CI greps for.
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Models []struct {
+			Model      string  `json:"model"`
+			Violations int64   `json:"staleness_violations"`
+			SumErr     float64 `json:"max_seg_sum_error"`
+		} `json:"models"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("summary does not parse: %v", err)
+	}
+	if len(parsed.Models) != 2 {
+		t.Fatalf("JSON carries %d models, want 2", len(parsed.Models))
+	}
+	if !strings.Contains(buf.String(), `"staleness_violations": 0`) {
+		t.Error("JSON missing explicit zero-violation sample")
+	}
+
+	// The polling deployment's trace dump round-trips with spans and metrics.
+	dump, err := obs.ReadTraceDump(&trace)
+	if err != nil {
+		t.Fatalf("trace dump does not parse: %v", err)
+	}
+	if len(dump.Spans) == 0 {
+		t.Error("trace dump has no spans")
+	}
+	if len(dump.Metrics.Counters) == 0 {
+		t.Error("trace dump has no metrics snapshot")
+	}
+
+	var rendered strings.Builder
+	res.Render(&rendered)
+	for _, want := range []string{"Consistency observatory", "poll", "deleg", "CRITICAL-PATH ATTRIBUTION"} {
+		if !strings.Contains(rendered.String(), want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}

@@ -134,6 +134,10 @@ type cachedFile struct {
 	// them and demand reads wait for the fetch instead of issuing a
 	// duplicate wide-area READ.
 	fetching map[uint64]bool
+	// stamps records the virtual time each block's bytes entered the cache
+	// (server fetch or local write), feeding the staleness observatory: a
+	// cache hit's measured age is relative to this stamp.
+	stamps map[uint64]time.Duration
 }
 
 func newSessionCache(blockSize int, maxBytes int64) *sessionCache {
@@ -501,6 +505,7 @@ func (sc *sessionCache) fileFor(key string) *cachedFile {
 			dirtyGen: make(map[uint64]uint64),
 			flushing: make(map[uint64]bool),
 			fetching: make(map[uint64]bool),
+			stamps:   make(map[uint64]time.Duration),
 		}
 		sc.files[key] = fc
 	}
@@ -552,8 +557,46 @@ func (sc *sessionCache) putCleanBlock(fh nfs3.FH, bn uint64, data []byte, attr n
 		sc.lru.remove(key, bn)
 	}
 	fc.blocks[bn] = block
+	fc.stamps[bn] = sc.nowLocked()
 	sc.lru.add(key, bn, len(block))
 	sc.evictLocked()
+}
+
+// --- fetch stamps (staleness observatory) ---------------------------------
+//
+// The observatory measures a cache hit's age from the virtual time its bytes
+// entered the cache. Attribute and lookup entries already carry fetch stamps
+// for the TTL policy; blocks carry theirs in cachedFile.stamps. All getters
+// are ok=false when the entry is absent — the caller then skips the observe
+// rather than inventing an age.
+
+// attrStamp reports when fh's cached attributes were fetched.
+func (sc *sessionCache) attrStamp(fh nfs3.FH) (time.Duration, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	ent, ok := sc.attrs[fh.Key()]
+	return ent.fetched, ok
+}
+
+// lookupStamp reports when the cached resolution of name under dir was
+// fetched.
+func (sc *sessionCache) lookupStamp(dir nfs3.FH, name string) (time.Duration, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	ent, ok := sc.lookups[cacheLookupKey(dir, name)]
+	return ent.fetched, ok
+}
+
+// blockStamp reports when block bn of fh entered the cache.
+func (sc *sessionCache) blockStamp(fh nfs3.FH, bn uint64) (time.Duration, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	fc, ok := sc.files[fh.Key()]
+	if !ok {
+		return 0, false
+	}
+	st, ok := fc.stamps[bn]
+	return st, ok
 }
 
 // updateAfterWrite reconciles the cache with a forwarded WRITE's reply,
@@ -618,6 +661,7 @@ func (sc *sessionCache) writeDirty(fh nfs3.FH, off uint64, data []byte) uint64 {
 		}
 		fc.dirty[bn] = true
 		fc.dirtyGen[bn]++
+		fc.stamps[bn] = sc.nowLocked()
 		copy(block[bo:], data[n:n+chunk])
 		n += chunk
 	}
@@ -824,8 +868,15 @@ func (sc *sessionCache) clearInFlight() {
 }
 
 // flushed marks a dirty block clean after its WRITE succeeded, adopting the
-// server's post-write attributes.
-func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, after nfs3.PostOpAttr) {
+// server's post-write attributes. The full weak-cache-consistency data
+// matters here: adopting the post-op mtime blindly would also adopt any
+// foreign commit that slipped in before our flush, silently revalidating
+// clean blocks that predate it — the next invalidation for this handle only
+// drops attributes and trusts the mtime comparison to reconcile data. When
+// the pre-op mtime does not match the cached one, another writer interleaved
+// and every clean copy is suspect.
+func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, wcc nfs3.WccData) {
+
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	key := fh.Key()
@@ -836,12 +887,23 @@ func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, after nfs3.Po
 	// The WRITE is no longer in flight; a subsequent takeDirty may re-flush
 	// the block (it stays dirty below when a newer write raced us).
 	delete(fc.flushing, bn)
+	after := wcc.After
+	if after.Present && wcc.Before.Present &&
+		wcc.Before.Attr.Mtime != fc.mtime && fc.mtime != after.Attr.Mtime {
+		sc.dropCleanLocked(key, fc)
+	}
 	// Only mark the block clean if it is still the data we flushed: a write
 	// that landed while the WRITE RPC was in flight bumps the generation,
 	// and clearing the dirty bit then would lose that newer data.
 	if fc.dirty[bn] && fc.dirtyGen[bn] == gen {
 		delete(fc.dirty, bn)
 		sc.lru.add(key, bn, sc.bs)
+		// The WRITE's success proves these bytes are the server's latest
+		// committed state for this block, superseding any commit that
+		// interleaved since the local write. Re-stamp so the staleness
+		// observatory ages the block from this flush, not from the
+		// (possibly much older) local write it carried.
+		fc.stamps[bn] = sc.nowLocked()
 	}
 	if after.Present {
 		fc.mtime = after.Attr.Mtime
@@ -883,6 +945,7 @@ func (sc *sessionCache) dropCleanLocked(key string, fc *cachedFile) {
 		if !fc.dirty[bn] {
 			sc.lru.remove(key, bn)
 			delete(fc.blocks, bn)
+			delete(fc.stamps, bn)
 		}
 	}
 }
@@ -895,6 +958,7 @@ func (sc *sessionCache) evictLocked() {
 		}
 		if fc, exists := sc.files[key]; exists {
 			delete(fc.blocks, bn)
+			delete(fc.stamps, bn)
 		}
 	}
 }

@@ -38,7 +38,7 @@ func TestTakeDirtyRunCoalescesAdjacent(t *testing.T) {
 		t.Fatal("block 1 takeable while in flight")
 	}
 	for i, b := range bns {
-		sc.flushed(fh, b, gens[i], nfs3.PostOpAttr{})
+		sc.flushed(fh, b, gens[i], nfs3.WccData{})
 	}
 	if got := sc.dirtyBlocks(fh); len(got) != 0 {
 		t.Fatalf("dirty after flushed: %v", got)

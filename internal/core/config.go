@@ -224,6 +224,14 @@ type Config struct {
 	// ObsName qualifies this component's trace node name (for example a
 	// session name). Defaults to the session credential's client ID.
 	ObsName string
+
+	// Staleness, when set, is the deployment-global staleness oracle: the
+	// proxy server records every committed mutation into it and the proxy
+	// client reports every cache-served read against it, yielding measured
+	// staleness histograms and a violation counter per model. It lives at
+	// the deployment (not the session) so it survives proxy restarts and
+	// sees commits from every writer. Nil disables the observatory.
+	Staleness *obs.StalenessOracle
 }
 
 func (c Config) withDefaults() Config {

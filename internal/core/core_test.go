@@ -303,8 +303,8 @@ func TestCacheDirtyLifecycle(t *testing.T) {
 	if !ok {
 		t.Fatal("takeDirty(0) not dirty")
 	}
-	sc.flushed(fh, 1, gen1, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)})
-	sc.flushed(fh, 0, gen0, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)})
+	sc.flushed(fh, 1, gen1, nfs3.WccData{After: nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)}})
+	sc.flushed(fh, 0, gen0, nfs3.WccData{After: nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)}})
 	// takeDirty for block 0 still worked before flushed(0) marked it clean;
 	// after both flushes nothing is dirty.
 	if sc.hasDirty(fh) {
@@ -328,7 +328,7 @@ func TestCacheFlushRaceKeepsNewerWrite(t *testing.T) {
 	}
 	// Concurrent write while the flush is "in flight".
 	sc.writeDirty(fh, 0, []byte{2, 2, 2, 2})
-	sc.flushed(fh, 0, gen, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)})
+	sc.flushed(fh, 0, gen, nfs3.WccData{After: nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(2, nfs3.TypeReg)}})
 	if !sc.hasDirty(fh) {
 		t.Fatal("stale flush completion marked a re-dirtied block clean — newer write lost")
 	}
@@ -337,9 +337,59 @@ func TestCacheFlushRaceKeepsNewerWrite(t *testing.T) {
 	if !ok || data[0] != 2 {
 		t.Fatalf("re-flush takeDirty = %v, %v", data, ok)
 	}
-	sc.flushed(fh, 0, gen2, nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)})
+	sc.flushed(fh, 0, gen2, nfs3.WccData{After: nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)}})
 	if sc.hasDirty(fh) {
 		t.Fatal("dirty state after flushing the newer write")
+	}
+}
+
+// TestCacheFlushForeignCommitDropsClean pins the staleness hole the
+// observatory surfaced: a flush whose WRITE reply proves another writer
+// interleaved (pre-op mtime differs from the cached one) must drop clean
+// blocks rather than silently revalidate them under the new mtime. The
+// GETINV invalidation channel only drops attributes; adopting the post-op
+// mtime blindly would defeat the mtime reconciliation forever.
+func TestCacheFlushForeignCommitDropsClean(t *testing.T) {
+	sc := newSessionCache(4, 1<<20)
+	fh := fhN(1)
+	// Block 1 is a clean copy fetched under mtime 1.
+	sc.putCleanBlock(fh, 1, []byte{9, 9, 9, 9}, attrWithMtime(1, nfs3.TypeReg))
+	// We dirty block 0 and flush; by the time the WRITE lands, a foreign
+	// commit has moved the file to mtime 2, so our reply reads pre-op mtime
+	// 2, post-op mtime 3.
+	sc.writeDirty(fh, 0, []byte{1, 1, 1, 1})
+	_, _, gen, ok := sc.takeDirty(fh, 0)
+	if !ok {
+		t.Fatal("takeDirty failed")
+	}
+	sc.flushed(fh, 0, gen, nfs3.WccData{
+		Before: nfs3.PreOpAttr{Present: true, Attr: nfs3.WccAttr{Mtime: nfs3.Time{Sec: 2}}},
+		After:  nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(3, nfs3.TypeReg)},
+	})
+	if sc.hasDirty(fh) {
+		t.Fatal("flushed block still dirty")
+	}
+	if _, ok := sc.getBlock(fh, 1); ok {
+		t.Fatal("clean block predating the foreign commit survived the flush")
+	}
+	if _, ok := sc.getBlock(fh, 0); !ok {
+		t.Fatal("the block we just flushed was dropped too")
+	}
+
+	// Control: a flush with a matching pre-op mtime (no interleaving) keeps
+	// clean copies.
+	sc.putCleanBlock(fh, 1, []byte{8, 8, 8, 8}, attrWithMtime(3, nfs3.TypeReg))
+	sc.writeDirty(fh, 0, []byte{2, 2, 2, 2})
+	_, _, gen2, ok := sc.takeDirty(fh, 0)
+	if !ok {
+		t.Fatal("takeDirty failed")
+	}
+	sc.flushed(fh, 0, gen2, nfs3.WccData{
+		Before: nfs3.PreOpAttr{Present: true, Attr: nfs3.WccAttr{Mtime: nfs3.Time{Sec: 3}}},
+		After:  nfs3.PostOpAttr{Present: true, Attr: attrWithMtime(4, nfs3.TypeReg)},
+	})
+	if _, ok := sc.getBlock(fh, 1); !ok {
+		t.Fatal("clean block dropped although the mtime advance was ours")
 	}
 }
 

@@ -47,6 +47,14 @@ type ProxyClient struct {
 	lastInvTS    uint64
 	pollWindow   time.Duration
 	stopped      bool
+	// pollHorizon is the staleness observatory's freshness horizon under the
+	// polling model: the send time of the final round of the last GETINV poll
+	// that fully drained the server's invalidation buffer. Every remote
+	// commit at or before it has been applied to this cache, so serving data
+	// older than such a commit is a genuine bound violation. Capped or failed
+	// polls leave it unchanged — the horizon only ever claims what the
+	// invalidation channel actually delivered.
+	pollHorizon time.Duration
 
 	// Background write-backs triggered by recalls with large dirty sets.
 	// Each recall used to spawn its own flush actor, so a recall storm (a
@@ -215,6 +223,7 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 	}
 	p.node = o.Node("proxyc:" + name)
 	p.met = newClientMetrics(o.Registry(), name)
+	cfg.Staleness.Register(shortModel(cfg.Model))
 	p.cache.setMetaPolicy(clk.Now, cfg.metaPolicy(), p.met.metaCounters())
 	// Upstream call spans (the wide-area round trips) are recorded at this
 	// proxy's node, nested under the kernel request via the shared ID.
@@ -543,6 +552,11 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 		args := GetInvArgs{Timestamp: ts, MaxHandles: uint32(p.cfg.MaxHandlesPerReply)}
 		e := bufpool.GetEncoder()
 		args.Encode(e)
+		// The round's send time is the staleness horizon candidate: any
+		// commit at or before it is queued in the server's invalidation
+		// buffer before the server processes this GETINV, so a complete
+		// drain proves this cache has seen every such commit.
+		sentAt := p.clk.Now()
 		d, callErr := p.rawCall(rid, InvProgram, InvVersion, ProcGetInv, e.Bytes())
 		bufpool.PutEncoder(e)
 		if callErr != nil {
@@ -571,6 +585,7 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 			// binding observed under the old contents is suspect.
 			for _, fh := range res.Handles {
 				p.cache.invalidateHandle(fh)
+				p.cfg.Staleness.ObservePropagation("poll", fh.Key())
 			}
 			if len(res.Handles) > 0 {
 				gotAny = true
@@ -579,6 +594,15 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 		}
 		// 4) Poll again immediately if the buffer did not fit.
 		if !res.PollAgain {
+			// The buffer drained completely: every remote commit at or
+			// before this round's send is now reflected in the cache, so the
+			// freshness horizon advances. Capped polls (the early return
+			// above) and failed calls leave it where it was.
+			p.mu.Lock()
+			if sentAt > p.pollHorizon {
+				p.pollHorizon = sentAt
+			}
+			p.mu.Unlock()
 			return gotAny, nil
 		}
 	}
@@ -748,7 +772,7 @@ func (p *ProxyClient) flushBlock(rid uint64, fh nfs3.FH, bn uint64) error {
 		return &nfs3.Error{Status: res.Status, Proc: nfs3.ProcWrite}
 	}
 	for i, b := range bns {
-		p.cache.flushed(fh, b, gens[i], res.Wcc.After)
+		p.cache.flushed(fh, b, gens[i], res.Wcc)
 	}
 	p.met.flushedBlocks.Add(int64(len(bns)))
 	return nil
@@ -870,6 +894,32 @@ func (p *ProxyClient) hasWriteDeleg(fh nfs3.FH) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.delegs[fh.Key()] == DelegWrite && !p.noncacheable[fh.Key()]
+}
+
+// observeServe reports one cache-served read to the staleness observatory:
+// fh's cached state, fetched into the cache at fetchedAt, just answered a
+// kernel RPC locally. The freshness horizon is the model's guarantee at this
+// instant — now under delegation (the hit path already proved a delegation is
+// held, and a recall would have invalidated the entry synchronously), the
+// last complete poll drain's send time under polling. Serves of files with
+// buffered dirty data are skipped: the bytes served are this client's own.
+func (p *ProxyClient) observeServe(fh nfs3.FH, fetchedAt time.Duration, ok bool) {
+	so := p.cfg.Staleness
+	if so == nil || !ok {
+		return
+	}
+	if p.cache.hasDirty(fh) {
+		return
+	}
+	var horizon time.Duration
+	if p.cfg.Model == ModelDelegation {
+		horizon = p.clk.Now()
+	} else {
+		p.mu.Lock()
+		horizon = p.pollHorizon
+		p.mu.Unlock()
+	}
+	so.ObserveServe(fh.Key(), p.cred.ClientID, shortModel(p.cfg.Model), fetchedAt, horizon)
 }
 
 // hitLocal counts a kernel RPC answered from the disk cache and annotates
@@ -1011,6 +1061,10 @@ func (p *ProxyClient) getattr(call *sunrpc.Call) sunrpc.AcceptStat {
 		if a, ok := p.cache.getAttr(args.FH); ok {
 			p.met.attrHits.Inc()
 			p.hitLocal(call)
+			if p.cfg.Staleness != nil {
+				st, sok := p.cache.attrStamp(args.FH)
+				p.observeServe(args.FH, st, sok)
+			}
 			res := nfs3.GetattrRes{Status: nfs3.OK, Attr: a}
 			res.Encode(call.Reply)
 			return sunrpc.Success
@@ -1045,6 +1099,10 @@ func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
 				// issuing for absent names are filtered out locally.
 				p.met.negHits.Inc()
 				p.hitLocal(call)
+				if p.cfg.Staleness != nil {
+					st, sok := p.cache.lookupStamp(args.Dir, args.Name)
+					p.observeServe(args.Dir, st, sok)
+				}
 				return encodeReply(call, &nfs3.LookupRes{
 					Status:  nfs3.ErrNoEnt,
 					DirAttr: nfs3.PostOpAttr{Present: true, Attr: dirAttr},
@@ -1057,6 +1115,10 @@ func (p *ProxyClient) lookup(call *sunrpc.Call) sunrpc.AcceptStat {
 				if childAttr, ok2 := p.cache.getAttr(childFH); ok2 {
 					p.met.dentryHits.Inc()
 					p.hitLocal(call)
+					if p.cfg.Staleness != nil {
+						st, sok := p.cache.attrStamp(childFH)
+						p.observeServe(childFH, st, sok)
+					}
 					return encodeReply(call, &nfs3.LookupRes{
 						Status:  nfs3.OK,
 						FH:      childFH,
@@ -1122,6 +1184,10 @@ func (p *ProxyClient) read(call *sunrpc.Call) sunrpc.AcceptStat {
 						call.SpanDetail = "join"
 					}
 					p.hitLocal(call)
+					if p.cfg.Staleness != nil {
+						st, sok := p.cache.blockStamp(args.FH, bn)
+						p.observeServe(args.FH, st, sok)
+					}
 					call.SpanBytes = int64(res.Count)
 					if p.cfg.DiskDelay > 0 {
 						p.clk.Sleep(p.cfg.DiskDelay) // read the block from the disk cache
@@ -1615,6 +1681,10 @@ func (p *ProxyClient) readdir(call *sunrpc.Call) sunrpc.AcceptStat {
 			if dirAttr, ok2 := p.cache.getAttr(args.Dir); ok2 && listingFits(entries, args.Count) {
 				p.met.listingHits.Inc()
 				p.hitLocal(call)
+				if p.cfg.Staleness != nil {
+					st, sok := p.cache.attrStamp(args.Dir)
+					p.observeServe(args.Dir, st, sok)
+				}
 				return encodeReply(call, &nfs3.ReaddirRes{
 					Status:     nfs3.OK,
 					DirAttr:    nfs3.PostOpAttr{Present: true, Attr: dirAttr},
@@ -1716,6 +1786,10 @@ func (p *ProxyClient) access(call *sunrpc.Call) sunrpc.AcceptStat {
 			}
 			p.met.accessHits.Inc()
 			p.hitLocal(call)
+			if p.cfg.Staleness != nil {
+				st, sok := p.cache.attrStamp(args.FH)
+				p.observeServe(args.FH, st, sok)
+			}
 			return encodeReply(call, &nfs3.AccessRes{
 				Status: nfs3.OK,
 				Attr:   nfs3.PostOpAttr{Present: true, Attr: a},
@@ -1792,6 +1866,7 @@ func (p *ProxyClient) handleRecall(call *sunrpc.Call) sunrpc.AcceptStat {
 	}
 	p.mu.Unlock()
 	p.cache.invalidateAttr(args.FH)
+	p.cfg.Staleness.ObservePropagation("recall", args.FH.Key())
 	if args.Name != "" {
 		// The recall was triggered by an operation removing or replacing
 		// this entry of the (directory) handle: the binding must go.

@@ -105,6 +105,15 @@ func (s *ProxyServer) dispatchNFS(call *sunrpc.Call) sunrpc.AcceptStat {
 
 	status := replyStatus(replyBytes)
 	if status == nfs3.OK {
+		// Ground truth for the staleness observatory: every invalidation
+		// target of a successfully forwarded mutation is a committed remote
+		// write, stamped here (both models) with the committing client's
+		// identity so a client's own writes never age its own cache.
+		if s.cfg.Staleness != nil {
+			for _, fh := range info.invTargets {
+				s.cfg.Staleness.RecordCommit(fh.Key(), client.rec.ID)
+			}
+		}
 		if s.cfg.Model == ModelPolling {
 			s.queueInvalidations(client.rec.ID, info.invTargets)
 		}

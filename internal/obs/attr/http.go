@@ -1,0 +1,24 @@
+package attr
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Handler serves a node's live critical-path attribution report — the /attr
+// endpoint of the real-TCP daemons. Requests are rooted at the node's own
+// serve spans (AnalyzeLocal), since a real kernel client records no spans.
+// ?top=N overrides how many slowest requests are itemized.
+func Handler(spans func() []obs.Span) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		top := 10
+		if v, err := strconv.Atoi(r.URL.Query().Get("top")); err == nil && v > 0 {
+			top = v
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, FormatReport(AnalyzeLocal(spans()), top))
+	}
+}

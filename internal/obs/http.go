@@ -7,9 +7,12 @@ import (
 
 // Handler exposes an Obs instance over HTTP for the real-TCP binaries:
 // /metrics serves the Prometheus text exposition, /metrics.json the raw
-// snapshot, and /spans the formatted trace of every retained span. publish,
-// when non-nil, runs before each response so sampled gauges are fresh.
-func (o *Obs) Handler(publish func()) http.Handler {
+// snapshot, /spans the formatted trace of every retained span (headed by a
+// drop warning when the bounded rings overwrote any), and /trace the full
+// JSON TraceDump that cmd/gvfs-trace analyzes offline. publish, when
+// non-nil, runs before each response so sampled gauges are fresh. The mux is
+// returned so binaries can hang extra endpoints (e.g. /attr) off it.
+func (o *Obs) Handler(publish func()) *http.ServeMux {
 	pub := func() {
 		if publish != nil {
 			publish()
@@ -28,7 +31,12 @@ func (o *Obs) Handler(publish func()) http.Handler {
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = io.WriteString(w, FormatSpans(o.Spans()))
+		_, _ = io.WriteString(w, FormatSpans(o.Spans(), o.DroppedSpans()))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		pub()
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Dump().Write(w)
 	})
 	return mux
 }

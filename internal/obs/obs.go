@@ -50,12 +50,16 @@ func newTracer(size int) *Tracer {
 	return &Tracer{buf: make([]Span, size)}
 }
 
-// Record appends a span, evicting the oldest when full.
-func (t *Tracer) Record(s Span) {
+// Record appends a span, evicting the oldest when full. It reports whether
+// this insert overwrote a span nobody has drained — the signal behind the
+// gvfs_obs_spans_dropped_total counter, so truncated traces are never
+// silently mistaken for complete ones.
+func (t *Tracer) Record(s Span) (evicted bool) {
 	if t == nil {
-		return
+		return false
 	}
 	t.mu.Lock()
+	evicted = t.n == len(t.buf)
 	t.buf[t.next] = s
 	t.next = (t.next + 1) % len(t.buf)
 	if t.n < len(t.buf) {
@@ -63,6 +67,7 @@ func (t *Tracer) Record(s Span) {
 	}
 	t.total++
 	t.mu.Unlock()
+	return evicted
 }
 
 // Spans returns retained spans oldest-first.
@@ -140,10 +145,31 @@ func (o *Obs) Node(name string) *Node {
 	n, ok := o.nodes[name]
 	if !ok {
 		n = &Node{o: o, name: name, id: uint64(len(o.order) + 1), tr: newTracer(o.ringSize)}
+		if n.tr != nil {
+			o.reg.SetHelp("gvfs_obs_spans_dropped_total",
+				"Spans evicted from a node's bounded ring before being drained; nonzero means traces are incomplete.")
+			n.drops = o.reg.Counter(Label("gvfs_obs_spans_dropped_total", "node", name))
+		}
 		o.nodes[name] = n
 		o.order = append(o.order, n)
 	}
 	return n
+}
+
+// DroppedSpans sums ring evictions across every node: how many spans the
+// bounded rings have overwritten since the deployment started.
+func (o *Obs) DroppedSpans() uint64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	nodes := append([]*Node(nil), o.order...)
+	o.mu.Unlock()
+	var total uint64
+	for _, n := range nodes {
+		total += n.tr.Dropped()
+	}
+	return total
 }
 
 // Spans returns every retained span across all nodes in canonical order.
@@ -216,12 +242,13 @@ func SortSpans(spans []Span) {
 // Node is a named component handle: it mints request IDs and records spans
 // into its own ring buffer.
 type Node struct {
-	o    *Obs
-	name string
-	id   uint64
-	mu   sync.Mutex
-	seq  uint64
-	tr   *Tracer
+	o     *Obs
+	name  string
+	id    uint64
+	mu    sync.Mutex
+	seq   uint64
+	tr    *Tracer
+	drops *Counter
 }
 
 // Name returns the node's name.
@@ -261,13 +288,16 @@ func (n *Node) Registry() *Registry {
 	return n.o.Registry()
 }
 
-// Record stores a span, stamping the node name.
+// Record stores a span, stamping the node name. Ring overwrites of unread
+// spans bump the node's gvfs_obs_spans_dropped_total series.
 func (n *Node) Record(s Span) {
 	if n == nil {
 		return
 	}
 	s.Node = n.name
-	n.tr.Record(s)
+	if n.tr.Record(s) {
+		n.drops.Inc()
+	}
 }
 
 // Tracing reports whether spans recorded at this node are retained. Hot
@@ -294,11 +324,20 @@ func FormatReq(id uint64) string {
 }
 
 // FormatSpans renders spans as an aligned, deterministic text table. Spans
-// are sorted canonically first.
-func FormatSpans(spans []Span) string {
+// are sorted canonically first. An optional dropped count (summed when
+// several are passed — typically Obs.DroppedSpans) prefixes the table with a
+// header marking the trace incomplete when ring overwrites lost spans.
+func FormatSpans(spans []Span, dropped ...uint64) string {
 	cp := append([]Span(nil), spans...)
 	SortSpans(cp)
 	var b strings.Builder
+	var lost uint64
+	for _, d := range dropped {
+		lost += d
+	}
+	if lost > 0 {
+		fmt.Fprintf(&b, "# TRACE INCOMPLETE: %d spans dropped by bounded rings\n", lost)
+	}
 	fmt.Fprintf(&b, "%-14s %-14s %-10s %-22s %-20s %-30s %-10s %-12s %8s %s\n",
 		"START", "END", "REQ", "NODE", "OP", "FH", "MODEL", "DETAIL", "BYTES", "ERR")
 	for _, s := range cp {

@@ -152,6 +152,7 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	help   map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -160,12 +161,59 @@ func NewRegistry() *Registry {
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		help:   make(map[string]string),
 	}
 }
 
-// Label bakes a single label pair into a series name. Successive calls
-// append further pairs in order, keeping output deterministic.
+// SetHelp registers the HELP text emitted for a metric family in the
+// Prometheus exposition. Families without help text get no HELP line, which
+// the format permits. First registration wins, so call sites can set it
+// unconditionally next to metric creation.
+func (r *Registry) SetHelp(family, text string) {
+	if r == nil || text == "" {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.help[family]; !ok {
+		r.help[family] = text
+	}
+	r.mu.Unlock()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes for label
+// values: backslash, double quote, and line feed.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the exposition escapes for HELP text: backslash and
+// line feed (quotes are legal there).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Label bakes a single label pair into a series name, escaping the value per
+// the Prometheus text format. Successive calls append further pairs in
+// order, keeping output deterministic.
 func Label(name, key, value string) string {
+	value = escapeLabelValue(value)
 	if i := strings.LastIndexByte(name, '}'); i >= 0 {
 		return name[:i] + `,` + key + `="` + value + `"}`
 	}
@@ -225,6 +273,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Help       map[string]string            `json:"help,omitempty"`
 }
 
 // SumCounters totals every counter series of one family (the metric name
@@ -262,6 +311,12 @@ func (r *Registry) Snapshot() Snapshot {
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
+	}
+	if len(r.help) > 0 {
+		s.Help = make(map[string]string, len(r.help))
+		for k, v := range r.help {
+			s.Help[k] = v
+		}
 	}
 	r.mu.Unlock()
 	for k, v := range counts {
@@ -332,6 +387,11 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	for _, se := range all {
 		fam, labels := splitSeries(se.name)
 		if fam != lastFam {
+			if help, ok := s.Help[fam]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, se.kind); err != nil {
 				return err
 			}

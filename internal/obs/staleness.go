@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StalenessOracle is the deployment-global ground truth behind the staleness
+// observatory. The proxy server records every committed mutation (writer
+// identity + virtual commit time, keyed by file handle); every proxy-client
+// cache hit then asks the oracle how old the data it just served is relative
+// to the latest committed remote write, and whether serving it breaks the
+// session model's advertised bound.
+//
+// The bound check is phrased through a freshness horizon H the serving
+// client supplies: the virtual time up to which its invalidation channel
+// guarantees it has seen every remote commit (the send time of the last
+// fully drained GETINV poll under the polling model; the current instant
+// while a delegation is held and servable). Serving data fetched at F is a
+// violation exactly when some other client's commit C satisfies F < C <= H —
+// the client had been told about the write (or was entitled to synchronous
+// recall) yet still served the superseded bytes. Commits after H are
+// permitted staleness: they are what the model's bound admits, and the
+// measured-staleness histograms record their magnitude. During partitions H
+// simply stops advancing, so retransmission storms never manufacture false
+// violations.
+//
+// All times are virtual, which makes the accounting exact in simnet. A nil
+// oracle is a no-op everywhere, so standalone components pay one branch.
+type StalenessOracle struct {
+	now func() time.Duration
+	reg *Registry
+
+	mu      sync.Mutex
+	commits map[string][]commitRec
+
+	hists map[string]*Histogram
+	viols map[string]*Counter
+	props map[string]*Histogram
+}
+
+type commitRec struct {
+	at     time.Duration
+	writer string
+}
+
+// maxCommitsPerKey bounds per-handle commit history. Evicting the oldest
+// records can only under-report staleness for reads of very cold data, never
+// invent a violation.
+const maxCommitsPerKey = 128
+
+// NewStalenessOracle builds an oracle reading virtual time from now and
+// exporting its series into reg.
+func NewStalenessOracle(now func() time.Duration, reg *Registry) *StalenessOracle {
+	reg.SetHelp("gvfs_staleness_age",
+		"Age of cache-served data relative to the earliest committed remote write it misses (0 = fresh), per model, in virtual nanoseconds.")
+	reg.SetHelp("gvfs_staleness_violations_total",
+		"Cache serves of data superseded by a remote commit at or before the client's freshness horizon - i.e. the model's advertised bound was broken.")
+	reg.SetHelp("gvfs_inv_propagation",
+		"Latency from a remote commit to the invalidation reaching the cache, per channel (poll or recall), in virtual nanoseconds.")
+	return &StalenessOracle{
+		now:     now,
+		reg:     reg,
+		commits: make(map[string][]commitRec),
+		hists:   make(map[string]*Histogram),
+		viols:   make(map[string]*Counter),
+		props:   make(map[string]*Histogram),
+	}
+}
+
+// Register pre-creates the model's series so expositions and CI gates see an
+// explicit zero instead of a missing family.
+func (so *StalenessOracle) Register(model string) {
+	if so == nil {
+		return
+	}
+	so.mu.Lock()
+	so.histLocked(model)
+	so.violLocked(model)
+	so.mu.Unlock()
+}
+
+func (so *StalenessOracle) histLocked(model string) *Histogram {
+	h, ok := so.hists[model]
+	if !ok {
+		h = so.reg.Histogram(Label("gvfs_staleness_age", "model", model), DurationBuckets)
+		so.hists[model] = h
+	}
+	return h
+}
+
+func (so *StalenessOracle) violLocked(model string) *Counter {
+	c, ok := so.viols[model]
+	if !ok {
+		c = so.reg.Counter(Label("gvfs_staleness_violations_total", "model", model))
+		so.viols[model] = c
+	}
+	return c
+}
+
+func (so *StalenessOracle) propLocked(channel string) *Histogram {
+	h, ok := so.props[channel]
+	if !ok {
+		h = so.reg.Histogram(Label("gvfs_inv_propagation", "channel", channel), DurationBuckets)
+		so.props[channel] = h
+	}
+	return h
+}
+
+// RecordCommit notes that writer committed a mutation of key (an nfs3 FH
+// key) at the current virtual time. The proxy server calls it once per
+// invalidation target of every successfully forwarded mutating RPC.
+func (so *StalenessOracle) RecordCommit(key, writer string) {
+	if so == nil {
+		return
+	}
+	at := so.now()
+	so.mu.Lock()
+	recs := append(so.commits[key], commitRec{at: at, writer: writer})
+	if len(recs) > maxCommitsPerKey {
+		recs = recs[len(recs)-maxCommitsPerKey:]
+	}
+	so.commits[key] = recs
+	so.mu.Unlock()
+}
+
+// ObserveServe records one cache hit: reader served key's cached copy
+// (fetched into the cache at fetchedAt) under the named model, holding
+// freshness horizon H. It feeds the model's measured-staleness histogram and
+// bumps the violation counter when a missed remote commit predates H.
+func (so *StalenessOracle) ObserveServe(key, reader, model string, fetchedAt, horizon time.Duration) {
+	if so == nil {
+		return
+	}
+	at := so.now()
+	so.mu.Lock()
+	var missed time.Duration // earliest remote commit the copy lacks
+	var hasMissed, violated bool
+	for _, c := range so.commits[key] {
+		if c.writer == reader || c.at <= fetchedAt {
+			continue
+		}
+		if !hasMissed {
+			missed, hasMissed = c.at, true
+		}
+		if c.at <= horizon {
+			violated = true
+		}
+	}
+	h := so.histLocked(model)
+	v := so.violLocked(model)
+	so.mu.Unlock()
+	age := time.Duration(0)
+	if hasMissed {
+		age = at - missed
+	}
+	h.ObserveDuration(age)
+	if violated {
+		v.Inc()
+	}
+}
+
+// ObservePropagation records that an invalidation for key just reached a
+// cache over the named channel ("poll" or "recall"), measuring the lag from
+// the latest commit of that key. Keys with no recorded commit (e.g. a force
+// invalidation of never-written files) are skipped.
+func (so *StalenessOracle) ObservePropagation(channel, key string) {
+	if so == nil {
+		return
+	}
+	at := so.now()
+	so.mu.Lock()
+	recs := so.commits[key]
+	var h *Histogram
+	var lag time.Duration
+	if len(recs) > 0 {
+		lag = at - recs[len(recs)-1].at
+		h = so.propLocked(channel)
+	}
+	so.mu.Unlock()
+	if h != nil {
+		h.ObserveDuration(lag)
+	}
+}
+
+// LatestCommit reports the newest commit time recorded for key.
+func (so *StalenessOracle) LatestCommit(key string) (time.Duration, bool) {
+	if so == nil {
+		return 0, false
+	}
+	so.mu.Lock()
+	defer so.mu.Unlock()
+	recs := so.commits[key]
+	if len(recs) == 0 {
+		return 0, false
+	}
+	return recs[len(recs)-1].at, true
+}

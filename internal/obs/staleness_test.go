@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// oracleAt builds an oracle over a manually advanced virtual clock.
+func oracleAt(now *time.Duration) (*StalenessOracle, *Registry) {
+	reg := NewRegistry()
+	return NewStalenessOracle(func() time.Duration { return *now }, reg), reg
+}
+
+func violations(reg *Registry, model string) int64 {
+	return reg.Snapshot().Counters[Label("gvfs_staleness_violations_total", "model", model)]
+}
+
+func ageHist(reg *Registry, model string) HistogramSnapshot {
+	return reg.Snapshot().Histograms[Label("gvfs_staleness_age", "model", model)]
+}
+
+// TestOracleViolationIffCommitWithinHorizon: serving data fetched at F is a
+// violation exactly when another writer's commit C satisfies F < C <= H.
+func TestOracleViolationIffCommitWithinHorizon(t *testing.T) {
+	now := 10 * time.Second
+	so, reg := oracleAt(&now)
+	so.Register("poll")
+	so.RecordCommit("fh:1", "C2/s") // commit at t=10s
+
+	now = 20 * time.Second
+	// Horizon before the commit: permitted staleness, not a violation.
+	so.ObserveServe("fh:1", "C1/s", "poll", 5*time.Second, 9*time.Second)
+	if v := violations(reg, "poll"); v != 0 {
+		t.Fatalf("violation counted with horizon before commit: %d", v)
+	}
+	h := ageHist(reg, "poll")
+	if h.Count != 1 || h.Sum != int64(10*time.Second) {
+		t.Fatalf("staleness age not measured: count=%d sum=%d (want age now-commit = 10s)", h.Count, h.Sum)
+	}
+
+	// Horizon at the commit time: the client was entitled to know — violation.
+	so.ObserveServe("fh:1", "C1/s", "poll", 5*time.Second, 10*time.Second)
+	if v := violations(reg, "poll"); v != 1 {
+		t.Fatalf("commit exactly at horizon not flagged: %d violations", v)
+	}
+
+	// Data fetched after the commit is fresh: no violation, zero age.
+	so.ObserveServe("fh:1", "C1/s", "poll", 15*time.Second, 20*time.Second)
+	if v := violations(reg, "poll"); v != 1 {
+		t.Fatalf("fresh serve flagged: %d violations", v)
+	}
+	h = ageHist(reg, "poll")
+	if h.Count != 3 {
+		t.Fatalf("age histogram count = %d, want 3", h.Count)
+	}
+}
+
+// TestOracleSkipsOwnWrites: a client serving bytes it wrote itself is never
+// stale, whatever the horizon.
+func TestOracleSkipsOwnWrites(t *testing.T) {
+	now := 10 * time.Second
+	so, reg := oracleAt(&now)
+	so.RecordCommit("fh:1", "C1/s")
+	now = 30 * time.Second
+	so.ObserveServe("fh:1", "C1/s", "deleg", 0, 30*time.Second)
+	if v := violations(reg, "deleg"); v != 0 {
+		t.Fatalf("own write counted as staleness violation: %d", v)
+	}
+	if h := ageHist(reg, "deleg"); h.Sum != 0 {
+		t.Fatalf("own write aged the serve: sum=%d", h.Sum)
+	}
+}
+
+func TestOraclePropagationLag(t *testing.T) {
+	now := 10 * time.Second
+	so, reg := oracleAt(&now)
+	so.RecordCommit("fh:1", "C2/s")
+	now = 25 * time.Second
+	so.ObservePropagation("poll", "fh:1")
+	// Keys with no recorded commit are skipped, not recorded as zero lag.
+	so.ObservePropagation("poll", "fh:never-written")
+	h := reg.Snapshot().Histograms[Label("gvfs_inv_propagation", "channel", "poll")]
+	if h.Count != 1 || h.Sum != int64(15*time.Second) {
+		t.Fatalf("propagation lag: count=%d sum=%d, want one 15s observation", h.Count, h.Sum)
+	}
+}
+
+// TestOracleEvictionUnderReports: commit history is bounded; eviction may
+// hide old commits (under-reporting staleness) but never invents one.
+func TestOracleEvictionUnderReports(t *testing.T) {
+	now := time.Duration(0)
+	so, reg := oracleAt(&now)
+	for i := 0; i < maxCommitsPerKey+50; i++ {
+		now = time.Duration(i) * time.Second
+		so.RecordCommit("fh:1", "C2/s")
+	}
+	// A copy fetched before every retained commit: still stale and violated
+	// (the newest commits survive eviction).
+	now += time.Minute
+	so.ObserveServe("fh:1", "C1/s", "poll", 0, now)
+	if v := violations(reg, "poll"); v != 1 {
+		t.Fatalf("staleness lost entirely to eviction: %d violations", v)
+	}
+	if _, ok := so.LatestCommit("fh:1"); !ok {
+		t.Fatal("latest commit lost")
+	}
+	if latest, _ := so.LatestCommit("fh:1"); latest != time.Duration(maxCommitsPerKey+49)*time.Second {
+		t.Fatalf("latest commit = %v", latest)
+	}
+}
+
+// TestOracleNilSafe: every method is a no-op through a nil receiver.
+func TestOracleNilSafe(t *testing.T) {
+	var so *StalenessOracle
+	so.Register("poll")
+	so.RecordCommit("fh:1", "w")
+	so.ObserveServe("fh:1", "r", "poll", 0, 0)
+	so.ObservePropagation("poll", "fh:1")
+	if _, ok := so.LatestCommit("fh:1"); ok {
+		t.Fatal("nil oracle reported a commit")
+	}
+}
+
+// TestOracleRegisterPreCreatesSeries: CI gates read the violation counter by
+// name; registering a model must make both series exist at zero.
+func TestOracleRegisterPreCreatesSeries(t *testing.T) {
+	now := time.Duration(0)
+	so, reg := oracleAt(&now)
+	so.Register("deleg")
+	snap := reg.Snapshot()
+	if _, ok := snap.Counters[Label("gvfs_staleness_violations_total", "model", "deleg")]; !ok {
+		t.Fatal("violations counter not pre-created")
+	}
+	if _, ok := snap.Histograms[Label("gvfs_staleness_age", "model", "deleg")]; !ok {
+		t.Fatal("age histogram not pre-created")
+	}
+	if snap.Help["gvfs_staleness_violations_total"] == "" || snap.Help["gvfs_staleness_age"] == "" {
+		t.Fatal("staleness families registered without HELP text")
+	}
+	var buf strings.Builder
+	if err := snap.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `gvfs_staleness_violations_total{model="deleg"} 0`) {
+		t.Fatalf("exposition missing explicit zero violation sample:\n%s", buf.String())
+	}
+}

@@ -146,6 +146,9 @@ func (c *Client) SetObs(node *obs.Node, procName ProcNameFunc) {
 	c.node = node
 	c.procName = procName
 	if reg := node.Registry(); reg != nil {
+		reg.SetHelp("gvfs_rpc_retransmits_total", "Same-XID retransmissions sent after an unanswered wait.")
+		reg.SetHelp("gvfs_rpc_retransmit_backoff", "Backoff waits preceding each retransmission, in virtual nanoseconds.")
+		reg.SetHelp("gvfs_rpc_shed_retries_total", "TRY_LATER replies swallowed and left to the retransmission timer.")
 		c.metRetransmits = reg.Counter(obs.Label("gvfs_rpc_retransmits_total", "node", node.Name()))
 		c.metBackoff = reg.Histogram(obs.Label("gvfs_rpc_retransmit_backoff", "node", node.Name()), obs.DurationBuckets)
 		c.metShedRetries = reg.Counter(obs.Label("gvfs_rpc_shed_retries_total", "node", node.Name()))
@@ -219,7 +222,7 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 		reqID = node.Mint() // nil node mints 0: call stays untraced
 	}
 	start := node.Now()
-	body, retrans, err := c.send(xid, prog, vers, proc, cred, reqID, args, pc, timeout)
+	body, retrans, stall, err := c.send(xid, prog, vers, proc, cred, reqID, args, pc, timeout)
 	if node.Tracing() {
 		c.mu.Lock()
 		shed := pc.shed
@@ -240,6 +243,15 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 			}
 			sp.Detail += fmt.Sprintf("shed=%d", shed)
 		}
+		if stall > 0 {
+			// stall= is the virtual time between the first and the last
+			// transmission of this XID: the latency the loss/shedding added.
+			// Latency attribution moves it out of the wire segment.
+			if sp.Detail != "" {
+				sp.Detail += " "
+			}
+			sp.Detail += "stall=" + stall.String()
+		}
 		if body != nil {
 			sp.Bytes += int64(body.Remaining())
 		}
@@ -252,9 +264,11 @@ func (c *Client) CallTraced(reqID uint64, prog, vers, proc uint32, args []byte, 
 }
 
 // send transmits the call and blocks for its completion, retransmitting under
-// the same XID when a policy is installed. It returns the reply body and how
-// many retransmissions were sent.
-func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte, pc *pendingCall, timeout time.Duration) (*xdr.Decoder, int, error) {
+// the same XID when a policy is installed. It returns the reply body, how
+// many retransmissions were sent, and the stall — virtual time between the
+// first and the last transmission, i.e. the extra latency retransmission
+// waits added to this call.
+func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, args []byte, pc *pendingCall, timeout time.Duration) (*xdr.Decoder, int, time.Duration, error) {
 	// The call message is built once in a pooled encoder and re-Sent verbatim
 	// on every retransmission; nothing retains msg past a Send (transports
 	// either copy or write synchronously), so the encoder is recycled as soon
@@ -262,11 +276,12 @@ func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, arg
 	enc := bufpool.GetEncoder()
 	defer bufpool.PutEncoder(enc)
 	msg := marshalCall(enc, xid, prog, vers, proc, cred, reqID, args)
+	firstSend := c.clk.Now()
 	if err := c.conn.Send(msg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, xid)
 		c.mu.Unlock()
-		return nil, 0, ErrClosed
+		return nil, 0, 0, ErrClosed
 	}
 
 	c.mu.Lock()
@@ -293,7 +308,7 @@ func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, arg
 			timer.Stop()
 		}
 		body, err := c.finish(xid, pc)
-		return body, 0, err
+		return body, 0, 0, err
 	}
 
 	deadline := c.clk.Now() + timeout
@@ -308,6 +323,7 @@ func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, arg
 		effMax = rto
 	}
 	retrans := 0
+	lastSend := firstSend
 	for attempt := 0; ; attempt++ {
 		wait := rto + policy.jitterFor(xid, attempt)
 		last := false
@@ -359,6 +375,7 @@ func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, arg
 			break
 		}
 		retrans++
+		lastSend = c.clk.Now()
 		c.metRetransmits.Inc()
 		c.metBackoff.ObserveDuration(wait)
 		rto *= 2
@@ -367,7 +384,7 @@ func (c *Client) send(xid, prog, vers, proc uint32, cred Cred, reqID uint64, arg
 		}
 	}
 	body, err := c.finish(xid, pc)
-	return body, retrans, err
+	return body, retrans, lastSend - firstSend, err
 }
 
 // finish evaluates a completed (or shutdown-released) call under the lock.

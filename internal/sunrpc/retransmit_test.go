@@ -199,7 +199,8 @@ func TestReplayExactlyOnce(t *testing.T) {
 }
 
 // TestRetransmitSpanDetail checks the call span advertises how many
-// retransmissions the call needed, so lossy-link traces are self-explaining.
+// retransmissions the call needed and how long the loss stalled it, so
+// lossy-link traces are self-explaining and attributable.
 func TestRetransmitSpanDetail(t *testing.T) {
 	clk, o, cli, fc, _, cleanup := replaySim(t)
 	defer cleanup()
@@ -213,14 +214,34 @@ func TestRetransmitSpanDetail(t *testing.T) {
 		}
 		found := false
 		for _, sp := range o.Spans() {
-			if strings.HasPrefix(sp.Op, "call ") && sp.Detail == "retransmit=1" {
+			if strings.HasPrefix(sp.Op, "call ") && strings.HasPrefix(sp.Detail, "retransmit=1 stall=") {
+				if _, stall, _ := parseSpanDetail(sp.Detail); stall <= 0 {
+					t.Errorf("span %q carries no positive stall", sp.Detail)
+				}
 				found = true
 			}
 		}
 		if !found {
-			t.Errorf("no call span with Detail=retransmit=1 in:\n%s", obs.FormatSpans(o.Spans()))
+			t.Errorf("no call span with Detail retransmit=1 stall=... in:\n%s", obs.FormatSpans(o.Spans()))
 		}
 	})
+}
+
+// parseSpanDetail extracts queued= and stall= durations from a span detail.
+func parseSpanDetail(detail string) (queued, stall time.Duration, ok bool) {
+	for _, f := range strings.Fields(detail) {
+		if strings.HasPrefix(f, "queued=") {
+			if d, err := time.ParseDuration(f[len("queued="):]); err == nil {
+				queued, ok = d, true
+			}
+		}
+		if strings.HasPrefix(f, "stall=") {
+			if d, err := time.ParseDuration(f[len("stall="):]); err == nil {
+				stall, ok = d, true
+			}
+		}
+	}
+	return queued, stall, ok
 }
 
 // TestRetransmitBackoffSchedule verifies the exponential schedule: with the
