@@ -27,11 +27,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate, meta, sched, hotpath, slo")
+	exp := flag.String("exp", "all", "experiment to run: all, fig4, fig5, fig6, fig7, fig8, lanov, ablate, meta, sched, hotpath, slo, restart")
 	scale := flag.Int("scale", 1, "divide workload sizes by this factor (1 = paper scale)")
 	quiet := flag.Bool("q", false, "suppress per-setup progress lines")
 	metricsOut := flag.String("metrics-out", "", "write per-deployment metrics dumps to this file (- for stderr)")
-	jsonOut := flag.String("json-out", "", "write the machine-readable result of JSON-capable experiments (meta, sched, hotpath, slo) to this file")
+	jsonOut := flag.String("json-out", "", "write the machine-readable result of JSON-capable experiments (meta, sched, hotpath, slo, restart) to this file")
 	traceOut := flag.String("trace-out", "", "write a JSON trace dump from trace-capable experiments (slo) to this file, for gvfs-trace")
 	flag.Parse()
 
@@ -160,6 +160,25 @@ func run(w io.Writer, exp string, scale int, quiet bool, metricsOut, jsonOut, tr
 			}
 			r.Render(w)
 			if jsonOut != "" && exp == "slo" {
+				f, err := os.Create(jsonOut)
+				if err != nil {
+					return fmt.Errorf("create %s: %w", jsonOut, err)
+				}
+				defer f.Close()
+				if err := r.WriteJSON(f); err != nil {
+					return fmt.Errorf("write %s: %w", jsonOut, err)
+				}
+				fmt.Fprintf(w, "json: %s\n", jsonOut)
+			}
+			return nil
+		}},
+		{"restart", func() error {
+			r, err := bench.RunRestart(opt)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			if jsonOut != "" && exp == "restart" {
 				f, err := os.Create(jsonOut)
 				if err != nil {
 					return fmt.Errorf("create %s: %w", jsonOut, err)

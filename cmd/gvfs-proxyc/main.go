@@ -40,16 +40,23 @@ func main() {
 	metrics := flag.String("metrics", "", "HTTP listen address for /metrics, /metrics.json, /spans, /trace and /attr (empty = disabled)")
 	workers := flag.Int("workers", runtime.NumCPU()*4, "callback-service worker-pool size (0 = unbounded legacy spawn)")
 	queueDepth := flag.Int("queue-depth", 0, "callback-service queue bound (0 = scheduler default)")
+	diskDir := flag.String("disk-cache-dir", "", "directory for the crash-consistent persistent block cache (empty = in-memory only); a restart on the same directory recovers the cache")
+	diskBytes := flag.Int64("disk-cache-bytes", 0, "clean-block byte budget of the persistent cache (0 = the in-memory cache budget)")
+	diskSync := flag.String("disk-cache-sync", "dirty", "persistent-cache journal sync policy: dirty (fsync dirty-state transitions), always, none")
 	flag.Parse()
 
-	if err := run(*listen, *cbListen, *cbAddr, *upstream, *model, *id, *session, *writeback, *poll, *metrics, *workers, *queueDepth); err != nil {
+	if err := run(*listen, *cbListen, *cbAddr, *upstream, *model, *id, *session, *writeback, *poll, *metrics, *workers, *queueDepth, *diskDir, *diskBytes, *diskSync); err != nil {
 		fmt.Fprintln(os.Stderr, "gvfs-proxyc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, cbListen, cbAddr, upstream, model, id, session string, writeback bool, poll time.Duration, metrics string, workers, queueDepth int) error {
-	cfg := core.Config{PollPeriod: poll, WriteBack: writeback, ServerWorkers: workers, ServerQueueDepth: queueDepth}
+func run(listen, cbListen, cbAddr, upstream, model, id, session string, writeback bool, poll time.Duration, metrics string, workers, queueDepth int, diskDir string, diskBytes int64, diskSync string) error {
+	cfg := core.Config{
+		PollPeriod: poll, WriteBack: writeback,
+		ServerWorkers: workers, ServerQueueDepth: queueDepth,
+		DiskCacheDir: diskDir, DiskCacheBytes: diskBytes, DiskCacheSyncPolicy: diskSync,
+	}
 	switch model {
 	case "polling":
 		cfg.Model = core.ModelPolling
@@ -74,6 +81,11 @@ func run(listen, cbListen, cbAddr, upstream, model, id, session string, writebac
 	}
 	cred := core.SessionCred{SessionKey: session, ClientID: id, CallbackAddr: cbAddr}
 	proxy := core.NewProxyClient(clk, cfg, sunrpc.NewClient(clk, upConn, sunrpc.NoneCred()), cred)
+	if diskDir != "" {
+		// A restart on a warm directory recovered blocks at construction;
+		// revalidate them and write recovered dirty data back before serving.
+		proxy.RecoverAfterCrash()
+	}
 	if metrics != "" {
 		mux := o.Handler(proxy.PublishMetrics)
 		mux.HandleFunc("/attr", attr.Handler(o.Spans))

@@ -93,6 +93,17 @@ type ChaosOptions struct {
 	// at-least-once machinery absorbs it. Clients defaults to 6 in this
 	// mode.
 	Overload bool
+	// DiskCacheDir enables the persistent disk cache on every mount (each
+	// mount persists under its own subdirectory). Required for WarmRestarts.
+	DiskCacheDir string
+	// WarmRestarts is the number of proxy-client warm restarts in data mode:
+	// a randomly chosen client is killed mid-run without any shutdown
+	// (in-flight flushes and all in-memory state drop on the floor; the
+	// persistent disk cache survives in whatever mid-state the crash left)
+	// and remounted from the same disk directory, recovering dirty blocks
+	// into write-back and revalidating clean ones. Defaults to 1 when
+	// DiskCacheDir is set; -1 for none. Ignored in Metadata mode.
+	WarmRestarts int
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -123,6 +134,9 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	if o.ServerRestarts == 0 {
 		o.ServerRestarts = 1
 	}
+	if o.WarmRestarts == 0 && o.DiskCacheDir != "" {
+		o.WarmRestarts = 1
+	}
 	if o.OpGap == 0 {
 		o.OpGap = 3 * time.Second
 	}
@@ -134,8 +148,8 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 // of the op phase.
 type ChaosEvent struct {
 	At   time.Duration
-	Kind string // "partition", "heal", "restart-server"
-	Host string // the isolated client host for partition/heal
+	Kind string // "partition", "heal", "restart-server", "restart-client"
+	Host string // the targeted client host (partition/heal/restart-client)
 }
 
 // ChaosPlan is the deterministic disruption schedule derived from a seed.
@@ -173,6 +187,12 @@ func NewChaosPlan(o ChaosOptions) ChaosPlan {
 	}
 	for i := 0; i < max(0, o.ServerRestarts); i++ {
 		plan.Events = append(plan.Events, ChaosEvent{At: randAt(), Kind: "restart-server"})
+	}
+	if o.DiskCacheDir != "" && !o.Metadata {
+		for i := 0; i < max(0, o.WarmRestarts); i++ {
+			plan.Events = append(plan.Events,
+				ChaosEvent{At: randAt(), Kind: "restart-client", Host: chaosHost(r.Intn(o.Clients))})
+		}
 	}
 	sort.Slice(plan.Events, func(i, j int) bool { return plan.Events[i].At < plan.Events[j].At })
 	return plan
@@ -217,6 +237,9 @@ type ChaosReport struct {
 	NetEvents []simnet.Event
 	NetStats  simnet.Stats
 	Restarts  int
+	// WarmRestarts counts proxy-client crash/remount-from-disk cycles the
+	// plan's "restart-client" events actually performed.
+	WarmRestarts int
 
 	ClientStats core.ProxyClientStats // summed over all mounts
 	ServerStats core.ProxyServerStats // the final server incarnation
@@ -342,6 +365,9 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 	if o.Model == core.ModelPolling {
 		cfg.WriteBack = true
 	}
+	if o.DiskCacheDir != "" {
+		cfg.DiskCacheDir = o.DiskCacheDir // mountWithCache appends the hostname
+	}
 	if o.Overload {
 		// Bounded server: a two-worker pool and a global admission bucket
 		// sized well below the opening burst fan-in, so the run provably
@@ -451,6 +477,21 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 			d.Net.SetFaults(chaosHost(i), "server", plan.Faults)
 		}
 		var restartMu sync.Mutex
+		// Warm restarts are performed by the target client's own loop at the
+		// first op boundary past the scheduled time, not by the driver: the
+		// loop is the mount's only user, so the crash/remount swap needs no
+		// cross-goroutine handoff. Times are absolute virtual clock values.
+		warmAt := make([][]time.Duration, o.Clients)
+		for _, ev := range plan.Events {
+			if ev.Kind != "restart-client" {
+				continue
+			}
+			for i := 0; i < o.Clients; i++ {
+				if chaosHost(i) == ev.Host {
+					warmAt[i] = append(warmAt[i], t0+ev.At)
+				}
+			}
+		}
 		g := d.NewGroup()
 		g.Go("chaos-driver", func() {
 			for _, ev := range plan.Events {
@@ -485,7 +526,7 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 				if o.Metadata {
 					metaLogs[i] = chaosMetaClientLoop(d, mounts[i], i, o, paths)
 				} else {
-					logs[i] = chaosClientLoop(d, mounts[i], i, o, paths)
+					logs[i] = chaosClientLoop(d, sess, mounts, i, o, paths, warmAt[i], &restartMu, rep)
 				}
 			})
 		}
@@ -621,18 +662,46 @@ func RunChaos(o ChaosOptions) (*ChaosReport, error) {
 		rep.ClientStats.ListingHits += s.ListingHits
 		rep.ClientStats.MetaExpiries += s.MetaExpiries
 		rep.ClientStats.MetaEvictions += s.MetaEvictions
+		rep.ClientStats.PollCapped += s.PollCapped
+		rep.ClientStats.RecoveredBlocks += s.RecoveredBlocks
+		rep.ClientStats.RecoveredDirty += s.RecoveredDirty
+		rep.ClientStats.RecoveryDropped += s.RecoveryDropped
+		rep.ClientStats.RevalidatedBlocks += s.RevalidatedBlocks
+		rep.ClientStats.RefetchedBlocks += s.RefetchedBlocks
 	}
 	rep.ServerStats = sess.ProxyServer().Stats()
 	return rep, nil
 }
 
 // chaosClientLoop runs one client's random op schedule and records every
-// operation with its virtual-time interval.
-func chaosClientLoop(d *Deployment, m *Mount, client int, o ChaosOptions, paths []string) []chaosOp {
+// operation with its virtual-time interval. restarts holds absolute virtual
+// times at which this client warm-restarts: the proxy is killed without
+// shutdown (Crash abandons the disk store in whatever mid-state it is in)
+// and remounted from the same disk directory before the next op. The new
+// mount is swapped into mounts[client] so the final stats sweep sees the
+// live incarnation.
+func chaosClientLoop(d *Deployment, sess *Session, mounts []*Mount, client int, o ChaosOptions, paths []string, restarts []time.Duration, mu *sync.Mutex, rep *ChaosReport) []chaosOp {
 	r := rand.New(rand.NewSource(o.Seed + 1000*int64(client+1)))
+	m := mounts[client]
 	log := make([]chaosOp, 0, o.Steps)
 	seq := 0
 	for step := 0; step < o.Steps; step++ {
+		if len(restarts) > 0 && d.Clock.Now() >= restarts[0] {
+			restarts = restarts[1:]
+			nm, err := sess.RemountFromDisk(m, nfsclient.Options{NoAC: true})
+			mu.Lock()
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("driver: warm-restart %s: %v", chaosHost(client), err))
+			} else {
+				rep.WarmRestarts++
+			}
+			mu.Unlock()
+			if err == nil {
+				m = nm
+				mounts[client] = nm
+			}
+		}
 		p := paths[r.Intn(len(paths))]
 		op := chaosOp{path: p, start: d.Clock.Now()}
 		switch roll := r.Intn(10); {

@@ -27,6 +27,7 @@ package gvfs
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -398,6 +399,27 @@ func (s *Session) RemountAfterCrash(m *Mount, kopts nfsclient.Options) (*Mount, 
 	return nm, nil
 }
 
+// RemountFromDisk models a full client-machine power loss and restart: the
+// proxy process dies abruptly (no final flush, no checkpoint) and — unlike
+// RemountAfterCrash — the in-memory session cache dies with it. The new
+// proxy instance rebuilds its cache solely from the crash-consistent
+// persistent store under the session's DiskCacheDir: surviving clean blocks
+// are revalidated through the model's normal channel instead of refetched,
+// and dirty blocks re-enter write-back with their saved generations. The
+// session must have been configured with DiskCacheDir for anything to
+// survive. Call within Run/Go.
+func (s *Session) RemountFromDisk(m *Mount, kopts nfsclient.Options) (*Mount, error) {
+	m.Proxy.Crash() // abandons the disk store mid-state, SIGKILL-style
+	m.conn.Close()
+
+	nm, err := s.mountWithCache(m.host, kopts, nil)
+	if err != nil {
+		return nil, err
+	}
+	nm.Proxy.RecoverAfterCrash()
+	return nm, nil
+}
+
 func (s *Session) close() {
 	s.mu.Lock()
 	proxies := append([]*core.ProxyClient(nil), s.proxies...)
@@ -454,6 +476,11 @@ func (s *Session) mountWithCache(hostname string, kopts nfsclient.Options, cache
 	// client ID so concurrent mounts never collide in the trace.
 	pcfg := s.Cfg
 	pcfg.ObsName = cred.ClientID
+	if pcfg.DiskCacheDir != "" {
+		// Each mount persists under its own subdirectory: a remount of the
+		// same host recovers exactly its predecessor's store.
+		pcfg.DiskCacheDir = filepath.Join(s.Cfg.DiskCacheDir, hostname)
+	}
 	proxy := core.NewProxyClient(d.Clock, pcfg, up, cred)
 	proxy.AdoptCache(cache)
 	proxy.SetRedial(func() (*sunrpc.Client, error) {

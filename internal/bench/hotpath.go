@@ -42,6 +42,11 @@ type HotpathSetup struct {
 	Runtime     time.Duration
 	AllocsPerOp float64
 	BytesPerOp  float64
+	// PoolOutstandingDelta is bufpool.Outstanding() across the measured
+	// loop. Steady-state dispatch neither grows a cache nor hands frames
+	// away, so any nonzero delta is a buffer leaked (or double-recycled)
+	// per N ops; RunHotpath fails on it.
+	PoolOutstandingDelta int64
 }
 
 // OpsPerSec is dispatch throughput over the measured wall-clock window.
@@ -235,6 +240,7 @@ func runHotpathSetup(opt Options, path string, pooled bool, ops int) (HotpathSet
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
+		poolBefore := bufpool.Outstanding()
 		start := time.Now()
 		for i := 0; i < ops; i++ {
 			if err := dispatch(i); err != nil {
@@ -243,10 +249,15 @@ func runHotpathSetup(opt Options, path string, pooled bool, ops int) (HotpathSet
 			}
 		}
 		setup.Runtime = time.Since(start)
+		setup.PoolOutstandingDelta = bufpool.Outstanding() - poolBefore
 		runtime.ReadMemStats(&after)
 		setup.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
 		setup.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
 	})
+	if runErr == nil && setup.PoolOutstandingDelta != 0 {
+		runErr = fmt.Errorf("pool outstanding delta %d over %d steady-state ops (buffer leak or double recycle)",
+			setup.PoolOutstandingDelta, ops)
+	}
 	return setup, runErr
 }
 
@@ -338,13 +349,14 @@ type hotpathJSON struct {
 }
 
 type hotpathSetupJSON struct {
-	Name        string  `json:"name"`
-	Path        string  `json:"path"`
-	Pooled      bool    `json:"pooled"`
-	Ops         int     `json:"ops"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
+	Name                 string  `json:"name"`
+	Path                 string  `json:"path"`
+	Pooled               bool    `json:"pooled"`
+	Ops                  int     `json:"ops"`
+	AllocsPerOp          float64 `json:"allocs_per_op"`
+	BytesPerOp           float64 `json:"bytes_per_op"`
+	OpsPerSec            float64 `json:"ops_per_sec"`
+	PoolOutstandingDelta int64   `json:"pool_outstanding_delta"`
 }
 
 type hotpathCoalesceJSON struct {
@@ -362,6 +374,7 @@ func (r HotpathResult) WriteJSON(w io.Writer) error {
 		out.Setups = append(out.Setups, hotpathSetupJSON{
 			Name: s.Name, Path: s.Path, Pooled: s.Pooled, Ops: s.Ops,
 			AllocsPerOp: s.AllocsPerOp, BytesPerOp: s.BytesPerOp, OpsPerSec: s.OpsPerSec(),
+			PoolOutstandingDelta: s.PoolOutstandingDelta,
 		})
 	}
 	for _, c := range r.Coalesce {

@@ -55,6 +55,18 @@ func classFor(n int) int {
 	return c
 }
 
+// outstanding tracks class-eligible buffers handed out by Get and not yet
+// returned by Put — the leak detector for the ownership rules above. Buffers
+// that legitimately become cache-resident keep the count up; a steady-state
+// loop that neither grows a cache nor hands frames to a peer must leave it
+// unchanged (the hot-path bench asserts exactly that).
+var outstanding atomic.Int64
+
+// Outstanding reports the number of pool-owned buffers currently checked
+// out: Gets minus Puts, counting only class-eligible buffers while pooling
+// is enabled.
+func Outstanding() int64 { return outstanding.Load() }
+
 // Get returns a byte slice of length n with arbitrary contents. Capacity is
 // the containing power-of-two size class, so a pooled buffer can be re-sliced
 // up to cap(b) without reallocating.
@@ -66,6 +78,7 @@ func Get(n int) []byte {
 	if c < 0 || !enabled.Load() {
 		return make([]byte, n)
 	}
+	outstanding.Add(1)
 	if v := classes[c].Get(); v != nil {
 		w := v.(*poolBuf)
 		b := w.b[:n]
@@ -94,6 +107,7 @@ func Put(b []byte) {
 	if cls < 0 || cls > maxShift-minShift {
 		return
 	}
+	outstanding.Add(-1)
 	w := wrapPool.Get().(*poolBuf)
 	w.b = b[:0:c]
 	classes[cls].Put(w)

@@ -42,6 +42,14 @@ type sessionCache struct {
 
 	lru  *lruList
 	maxB int64
+
+	// persist, when non-nil, mirrors data blocks and their dirty state into
+	// the crash-consistent disk store. Every call site already holds sc.mu.
+	persist blockPersister
+	// recovered marks files restored from disk whose clean blocks await
+	// their first server attribute observation (revalidated vs refetched).
+	recovered map[string]bool
+	recMet    *recoveryCounters
 }
 
 // metaPolicy bounds the metadata caches: TTLs in virtual time (0 = entries
@@ -246,6 +254,7 @@ func (sc *sessionCache) putAttr(fh nfs3.FH, a nfs3.Fattr) {
 	defer sc.mu.Unlock()
 	key := fh.Key()
 	if fc, ok := sc.files[key]; ok {
+		sc.noteRecoveredLocked(key, fc, a.Mtime)
 		if fc.mtime != a.Mtime {
 			sc.dropCleanLocked(key, fc)
 			fc.mtime = a.Mtime
@@ -257,6 +266,7 @@ func (sc *sessionCache) putAttr(fh nfs3.FH, a nfs3.Fattr) {
 		} else if fc.localChange == 0 {
 			fc.size = a.Size
 		}
+		sc.persistMetaLocked(key, fc)
 	}
 	sc.setAttrLocked(key, a)
 }
@@ -330,6 +340,9 @@ func (sc *sessionCache) forget(fh nfs3.FH) {
 	if fc, ok := sc.files[key]; ok {
 		sc.dropCleanLocked(key, fc)
 		delete(sc.files, key)
+		if sc.persist != nil {
+			sc.persist.DropFile(key)
+		}
 	}
 }
 
@@ -534,6 +547,7 @@ func (sc *sessionCache) putCleanBlock(fh nfs3.FH, bn uint64, data []byte, attr n
 	defer sc.mu.Unlock()
 	key := fh.Key()
 	fc := sc.fileFor(key)
+	sc.noteRecoveredLocked(key, fc, attr.Mtime)
 	if fc.mtime != attr.Mtime {
 		sc.dropCleanLocked(key, fc)
 		fc.mtime = attr.Mtime
@@ -559,6 +573,10 @@ func (sc *sessionCache) putCleanBlock(fh nfs3.FH, bn uint64, data []byte, attr n
 	fc.blocks[bn] = block
 	fc.stamps[bn] = sc.nowLocked()
 	sc.lru.add(key, bn, len(block))
+	if sc.persist != nil {
+		sc.persist.PutBlock(key, bn, block, false, fc.dirtyGen[bn])
+		sc.persistMetaLocked(key, fc)
+	}
 	sc.evictLocked()
 }
 
@@ -612,6 +630,11 @@ func (sc *sessionCache) updateAfterWrite(fh nfs3.FH, wcc nfs3.WccData) {
 	key := fh.Key()
 	after := wcc.After.Attr
 	if fc, ok := sc.files[key]; ok {
+		if wcc.Before.Present {
+			// The pre-op mtime is the server state the surviving clean blocks
+			// are judged against: unchanged since the crash means revalidated.
+			sc.noteRecoveredLocked(key, fc, wcc.Before.Attr.Mtime)
+		}
 		ours := wcc.Before.Present && wcc.Before.Attr.Mtime == fc.mtime
 		if !ours && fc.mtime != after.Mtime {
 			sc.dropCleanLocked(key, fc)
@@ -622,6 +645,7 @@ func (sc *sessionCache) updateAfterWrite(fh nfs3.FH, wcc nfs3.WccData) {
 		} else if after.Size > fc.size {
 			fc.size = after.Size
 		}
+		sc.persistMetaLocked(key, fc)
 	}
 	sc.setAttrLocked(key, after)
 }
@@ -663,12 +687,16 @@ func (sc *sessionCache) writeDirty(fh nfs3.FH, off uint64, data []byte) uint64 {
 		fc.dirtyGen[bn]++
 		fc.stamps[bn] = sc.nowLocked()
 		copy(block[bo:], data[n:n+chunk])
+		if sc.persist != nil {
+			sc.persist.PutBlock(key, bn, block, true, fc.dirtyGen[bn])
+		}
 		n += chunk
 	}
 	if end := off + uint64(len(data)); end > fc.size {
 		fc.size = end
 	}
 	fc.localChange++
+	sc.persistMetaLocked(key, fc)
 	return fc.size
 }
 
@@ -718,7 +746,8 @@ func (sc *sessionCache) dirtyFiles() []nfs3.FH {
 func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint64, gen uint64, ok bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	fc, exists := sc.files[fh.Key()]
+	key := fh.Key()
+	fc, exists := sc.files[key]
 	if !exists || !fc.dirty[bn] || fc.flushing[bn] {
 		return nil, 0, 0, false
 	}
@@ -731,6 +760,10 @@ func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint6
 			// Block wholly beyond a truncation; drop it.
 			delete(fc.dirty, bn)
 			delete(fc.blocks, bn)
+			delete(fc.stamps, bn)
+			if sc.persist != nil {
+				sc.persist.DropBlock(key, bn)
+			}
 			return nil, 0, 0, false
 		}
 		count = fc.size - off
@@ -752,7 +785,8 @@ func (sc *sessionCache) takeDirty(fh nfs3.FH, bn uint64) (data []byte, off uint6
 func (sc *sessionCache) takeDirtyRun(fh nfs3.FH, bn uint64, maxBytes int) (data []byte, off uint64, bns, gens []uint64, ok bool) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	fc, exists := sc.files[fh.Key()]
+	key := fh.Key()
+	fc, exists := sc.files[key]
 	if !exists || !fc.dirty[bn] || fc.flushing[bn] {
 		return nil, 0, nil, nil, false
 	}
@@ -762,6 +796,10 @@ func (sc *sessionCache) takeDirtyRun(fh nfs3.FH, bn uint64, maxBytes int) (data 
 		// Block wholly beyond a truncation; drop it.
 		delete(fc.dirty, bn)
 		delete(fc.blocks, bn)
+		delete(fc.stamps, bn)
+		if sc.persist != nil {
+			sc.persist.DropBlock(key, bn)
+		}
 		return nil, 0, nil, nil, false
 	}
 	if maxBytes < sc.bs {
@@ -887,6 +925,9 @@ func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, wcc nfs3.WccD
 	// The WRITE is no longer in flight; a subsequent takeDirty may re-flush
 	// the block (it stays dirty below when a newer write raced us).
 	delete(fc.flushing, bn)
+	if wcc.Before.Present {
+		sc.noteRecoveredLocked(key, fc, wcc.Before.Attr.Mtime)
+	}
 	after := wcc.After
 	if after.Present && wcc.Before.Present &&
 		wcc.Before.Attr.Mtime != fc.mtime && fc.mtime != after.Attr.Mtime {
@@ -904,6 +945,9 @@ func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, wcc nfs3.WccD
 		// observatory ages the block from this flush, not from the
 		// (possibly much older) local write it carried.
 		fc.stamps[bn] = sc.nowLocked()
+		if sc.persist != nil {
+			sc.persist.MarkClean(key, bn, gen)
+		}
 	}
 	if after.Present {
 		fc.mtime = after.Attr.Mtime
@@ -913,6 +957,7 @@ func (sc *sessionCache) flushed(fh nfs3.FH, bn uint64, gen uint64, wcc nfs3.WccD
 		}
 		sc.setAttrLocked(key, after.Attr)
 	}
+	sc.persistMetaLocked(key, fc)
 	sc.evictLocked()
 }
 
@@ -929,15 +974,21 @@ func (sc *sessionCache) hasDirty(fh nfs3.FH) bool {
 func (sc *sessionCache) dropDirty(fh nfs3.FH) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	fc, ok := sc.files[fh.Key()]
+	key := fh.Key()
+	fc, ok := sc.files[key]
 	if !ok {
 		return
 	}
 	for bn := range fc.dirty {
 		delete(fc.dirty, bn)
 		delete(fc.blocks, bn)
+		delete(fc.stamps, bn)
+		if sc.persist != nil {
+			sc.persist.DropBlock(key, bn)
+		}
 	}
 	fc.localChange = 0
+	sc.persistMetaLocked(key, fc)
 }
 
 func (sc *sessionCache) dropCleanLocked(key string, fc *cachedFile) {
@@ -946,6 +997,9 @@ func (sc *sessionCache) dropCleanLocked(key string, fc *cachedFile) {
 			sc.lru.remove(key, bn)
 			delete(fc.blocks, bn)
 			delete(fc.stamps, bn)
+			if sc.persist != nil {
+				sc.persist.DropBlock(key, bn)
+			}
 		}
 	}
 }
@@ -959,6 +1013,9 @@ func (sc *sessionCache) evictLocked() {
 		if fc, exists := sc.files[key]; exists {
 			delete(fc.blocks, bn)
 			delete(fc.stamps, bn)
+		}
+		if sc.persist != nil {
+			sc.persist.DropBlock(key, bn)
 		}
 	}
 }

@@ -108,6 +108,21 @@ type Config struct {
 	// CacheBytes bounds the client disk cache. Default 4 GiB.
 	CacheBytes int64
 
+	// DiskCacheDir, when non-empty, backs the session cache with a
+	// crash-consistent on-disk block store rooted at this directory
+	// (internal/diskcache): data blocks, their dirty state, and write
+	// generations survive a proxy-client restart, after which clean blocks
+	// are revalidated through the model's normal channel instead of
+	// refetched and dirty write-delegated blocks re-enter the write-back
+	// pipeline. Empty (the default) keeps the cache purely in memory.
+	DiskCacheDir string
+	// DiskCacheBytes bounds the clean-block bytes persisted on disk; dirty
+	// data is never dropped for space. 0 inherits CacheBytes.
+	DiskCacheBytes int64
+	// DiskCacheSyncPolicy selects the store's fsync policy: "dirty"
+	// (default — sync on dirty-state transitions), "always", or "none".
+	DiskCacheSyncPolicy string
+
 	// ProxyDelay models the user-level interception and cache-management
 	// cost a proxy adds to each RPC it handles (the 4-8% LAN overhead of
 	// Section 5.1.1). Applied at both proxy client and proxy server.
@@ -281,6 +296,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 4 << 30
+	}
+	if c.DiskCacheBytes == 0 {
+		c.DiskCacheBytes = c.CacheBytes
 	}
 	if c.FlushInterval == 0 {
 		c.FlushInterval = 30 * time.Second

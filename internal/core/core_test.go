@@ -110,12 +110,16 @@ func TestInvBufferCoalescesDuplicates(t *testing.T) {
 	b := newInvBuffer(10)
 	b.add("a")
 	b.add("b")
-	b.add("a") // coalesce: moves to the back
+	b.add("a") // coalesce in place: "a" keeps its original queue position
 	if len(b.order) != 2 {
 		t.Fatalf("order = %v, want 2 entries", b.order)
 	}
-	if b.order[0] != "b" || b.order[1] != "a" {
-		t.Fatalf("coalesced order = %v, want [b a]", b.order)
+	// The re-touched entry must NOT move to the back: the client's
+	// freshness-horizon accounting (GetInvRes.Remaining) relies on FIFO
+	// delivery of everything queued before a GETINV round, and a duplicate
+	// slipping behind newer entries would break that invariant.
+	if b.order[0] != "a" || b.order[1] != "b" {
+		t.Fatalf("coalesced order = %v, want [a b] (leave-in-place)", b.order)
 	}
 }
 

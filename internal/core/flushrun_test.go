@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bufpool"
+)
+
+// TestTakeDirtyRunMaxWriteBytesBoundary audits the coalesced write-back
+// staging against the MaxWriteBytes cap when the run ends in a short tail
+// block. The cap must be enforced against actual staged byte counts (a tail
+// block contributes only size%bs bytes, not a full block), the tail must
+// never straddle the cap (a partial block in the middle of a WRITE would
+// corrupt the run), and a cap below one block still takes exactly the first
+// block.
+func TestTakeDirtyRunMaxWriteBytesBoundary(t *testing.T) {
+	const bs = 8
+	// The dirty file spans blocks 0..2: two full blocks plus a 4-byte tail
+	// (size 20). Payload bytes are the file offsets, so staged contents can
+	// be checked against the run the take claims to cover.
+	mkCache := func() (*sessionCache, []byte) {
+		sc := newSessionCache(bs, 1<<20)
+		data := make([]byte, 20)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		sc.writeDirty(fhN(1), 0, data)
+		return sc, data
+	}
+
+	cases := []struct {
+		name      string
+		maxBytes  int
+		startBn   uint64
+		wantBns   []uint64
+		wantBytes int
+	}{
+		{name: "cap fits full run including tail", maxBytes: 20, startBn: 0, wantBns: []uint64{0, 1, 2}, wantBytes: 20},
+		{name: "generous cap stops at tail", maxBytes: 1 << 20, startBn: 0, wantBns: []uint64{0, 1, 2}, wantBytes: 20},
+		{name: "tail would straddle cap", maxBytes: 18, startBn: 0, wantBns: []uint64{0, 1}, wantBytes: 16},
+		{name: "cap one byte short of tail end", maxBytes: 19, startBn: 0, wantBns: []uint64{0, 1}, wantBytes: 16},
+		{name: "cap lands mid full block", maxBytes: 12, startBn: 0, wantBns: []uint64{0}, wantBytes: 8},
+		{name: "cap below one block clamps to block size", maxBytes: 4, startBn: 0, wantBns: []uint64{0}, wantBytes: 8},
+		{name: "zero cap clamps to block size", maxBytes: 0, startBn: 0, wantBns: []uint64{0}, wantBytes: 8},
+		{name: "short tail alone", maxBytes: 1 << 20, startBn: 2, wantBns: []uint64{2}, wantBytes: 4},
+		{name: "tail exactly consumes cap", maxBytes: 12, startBn: 1, wantBns: []uint64{1, 2}, wantBytes: 12},
+		{name: "tail one over cap", maxBytes: 11, startBn: 1, wantBns: []uint64{1}, wantBytes: 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, file := mkCache()
+			data, off, bns, gens, ok := sc.takeDirtyRun(fhN(1), tc.startBn, tc.maxBytes)
+			if !ok {
+				t.Fatalf("takeDirtyRun(bn=%d, max=%d) not ok", tc.startBn, tc.maxBytes)
+			}
+			defer bufpool.Put(data)
+			if wantOff := tc.startBn * bs; off != wantOff {
+				t.Errorf("off = %d, want %d", off, wantOff)
+			}
+			if len(bns) != len(tc.wantBns) {
+				t.Fatalf("run blocks = %v, want %v", bns, tc.wantBns)
+			}
+			for i, bn := range tc.wantBns {
+				if bns[i] != bn {
+					t.Fatalf("run blocks = %v, want %v", bns, tc.wantBns)
+				}
+			}
+			if len(gens) != len(bns) {
+				t.Errorf("len(gens) = %d, want %d", len(gens), len(bns))
+			}
+			if len(data) != tc.wantBytes {
+				t.Errorf("staged %d bytes, want %d", len(data), tc.wantBytes)
+			}
+			want := file[off : off+uint64(tc.wantBytes)]
+			if !bytes.Equal(data, want) {
+				t.Errorf("staged bytes = %v, want %v", data, want)
+			}
+			// Exactly the taken blocks are in flight; the rest remain
+			// takeable by a concurrent flusher.
+			fc := sc.files[fhN(1).Key()]
+			taken := map[uint64]bool{}
+			for _, bn := range bns {
+				taken[bn] = true
+				if !fc.flushing[bn] {
+					t.Errorf("block %d not marked in flight", bn)
+				}
+			}
+			for bn := range fc.dirty {
+				if !taken[bn] && fc.flushing[bn] {
+					t.Errorf("block %d outside the run marked in flight", bn)
+				}
+			}
+		})
+	}
+}
+
+// TestTakeDirtyRunTruncatedStartDropsStamp pins the truncation-drop path: a
+// dirty block wholly beyond the file size is discarded in full — dirty mark,
+// data, and its observatory stamp (the stamp used to leak, leaving a
+// fetched-at time for a block that no longer exists).
+func TestTakeDirtyRunTruncatedStartDropsStamp(t *testing.T) {
+	const bs = 8
+	for _, fn := range []string{"takeDirtyRun", "takeDirty"} {
+		t.Run(fn, func(t *testing.T) {
+			sc := newSessionCache(bs, 1<<20)
+			fh := fhN(1)
+			sc.writeDirty(fh, 0, make([]byte, 20)) // blocks 0..2, size 20
+			// SETATTR truncation behind the flusher's back.
+			sc.files[fh.Key()].size = 6
+			var ok bool
+			if fn == "takeDirtyRun" {
+				_, _, _, _, ok = sc.takeDirtyRun(fh, 2, 1<<20)
+			} else {
+				_, _, _, ok = sc.takeDirty(fh, 2)
+			}
+			if ok {
+				t.Fatal("block beyond truncation was staged for write-back")
+			}
+			fc := sc.files[fh.Key()]
+			if fc.dirty[2] {
+				t.Error("truncated block still dirty")
+			}
+			if _, exists := fc.blocks[2]; exists {
+				t.Error("truncated block data retained")
+			}
+			if _, exists := fc.stamps[2]; exists {
+				t.Error("truncated block's observatory stamp leaked")
+			}
+		})
+	}
+}

@@ -70,6 +70,17 @@ type clientMetrics struct {
 	metaEvictions *obs.Counter
 	metaDirFlush  *obs.Counter
 
+	// Disk-cache recovery: blocks carried across a restart, how their
+	// contents were settled (revalidated without a refetch vs dropped by
+	// the normal mtime reconciliation), and store-level failures.
+	recoveredBlocks  *obs.Counter
+	recoveredDirty   *obs.Counter
+	recoveryDropped  *obs.Counter
+	revalidatedBlks  *obs.Counter
+	refetchedBlks    *obs.Counter
+	diskCacheErrors  *obs.Counter
+	recoveryReplayNs *obs.Gauge
+
 	flushInflight  *obs.Gauge
 	getinvBatch    *obs.Histogram
 	forwardLatency *obs.Histogram
@@ -101,6 +112,13 @@ func newClientMetrics(reg *obs.Registry, node string) *clientMetrics {
 		metaExpiries:       reg.Counter(l("gvfs_client_meta_expiries_total")),
 		metaEvictions:      reg.Counter(l("gvfs_client_meta_evictions_total")),
 		metaDirFlush:       reg.Counter(l("gvfs_client_meta_dir_flushes_total")),
+		recoveredBlocks:    reg.Counter(l("gvfs_client_recovered_blocks_total")),
+		recoveredDirty:     reg.Counter(l("gvfs_client_recovered_dirty_blocks_total")),
+		recoveryDropped:    reg.Counter(l("gvfs_client_recovery_dropped_total")),
+		revalidatedBlks:    reg.Counter(l("gvfs_client_revalidated_blocks_total")),
+		refetchedBlks:      reg.Counter(l("gvfs_client_refetched_blocks_total")),
+		diskCacheErrors:    reg.Counter(l("gvfs_client_disk_cache_errors_total")),
+		recoveryReplayNs:   reg.Gauge(l("gvfs_client_recovery_replay_ns")),
 		flushInflight:      reg.Gauge(l("gvfs_client_flush_inflight")),
 		getinvBatch:        reg.Histogram(l("gvfs_client_getinv_batch"), obs.CountBuckets),
 		forwardLatency:     reg.Histogram(l("gvfs_client_forward_latency"), obs.DurationBuckets),

@@ -127,6 +127,12 @@ type GetInvRes struct {
 	// PollAgain is set when the buffer did not fit in one reply; the client
 	// must immediately issue another GETINV.
 	PollAgain bool
+	// Remaining is the number of entries still queued in the server's
+	// invalidation buffer after this reply. The client's freshness-horizon
+	// accounting uses it: a round sent at T is fully covered once Remaining
+	// further handles have been delivered, even if the poll as a whole is
+	// later capped. Zero whenever PollAgain is false.
+	Remaining uint32
 	// Handles are the file handles to invalidate.
 	Handles []nfs3.FH
 }
@@ -136,6 +142,7 @@ func (r *GetInvRes) Encode(e *xdr.Encoder) {
 	e.Uint64(r.Timestamp)
 	e.Bool(r.ForceInvalidate)
 	e.Bool(r.PollAgain)
+	e.Uint32(r.Remaining)
 	e.Uint32(uint32(len(r.Handles)))
 	for _, fh := range r.Handles {
 		e.Opaque(fh.Bytes())
@@ -152,6 +159,9 @@ func (r *GetInvRes) Decode(d *xdr.Decoder) error {
 		return err
 	}
 	if r.PollAgain, err = d.Bool(); err != nil {
+		return err
+	}
+	if r.Remaining, err = d.Uint32(); err != nil {
 		return err
 	}
 	n, err := d.Uint32()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/diskcache"
 	"repro/internal/nfs3"
 	"repro/internal/obs"
 	"repro/internal/sunrpc"
@@ -24,7 +25,11 @@ type ProxyClient struct {
 	cred SessionCred
 
 	cache *sessionCache
-	srv   *sunrpc.Server
+	// disk is the crash-consistent persistent block store mirroring the
+	// session cache (nil when Config.DiskCacheDir is unset, or when the
+	// store failed to open and the proxy degraded to memory-only).
+	disk *diskcache.Store
+	srv  *sunrpc.Server
 	// cbSrv serves the GVFS callback program on its own server so the
 	// bounded scheduling pool applies to recall traffic without ever
 	// shedding or queueing the kernel's loopback NFS calls (the kernel
@@ -48,12 +53,13 @@ type ProxyClient struct {
 	pollWindow   time.Duration
 	stopped      bool
 	// pollHorizon is the staleness observatory's freshness horizon under the
-	// polling model: the send time of the final round of the last GETINV poll
-	// that fully drained the server's invalidation buffer. Every remote
-	// commit at or before it has been applied to this cache, so serving data
-	// older than such a commit is a genuine bound violation. Capped or failed
-	// polls leave it unchanged — the horizon only ever claims what the
-	// invalidation channel actually delivered.
+	// polling model: the send time of the latest GETINV round whose
+	// pre-round invalidations have all been applied to this cache (see the
+	// pollCover accounting in pollOnce). Every remote commit at or before
+	// it has been applied here, so serving data older than such a commit is
+	// a genuine bound violation. The horizon only ever claims what the
+	// invalidation channel actually delivered: rounds a capped or failed
+	// poll left uncovered do not advance it.
 	pollHorizon time.Duration
 
 	// Background write-backs triggered by recalls with large dirty sets.
@@ -113,6 +119,22 @@ type ProxyClientStats struct {
 	// in the metadata caches.
 	MetaExpiries  int64
 	MetaEvictions int64
+
+	// PollCapped counts GETINV polls abandoned at the round cap.
+	PollCapped int64
+
+	// Disk-cache recovery accounting. RecoveredBlocks (of which
+	// RecoveredDirty were dirty) survived the last restart intact;
+	// RecoveryDropped were discarded during replay (torn tail, CRC
+	// mismatch, missing block file). RevalidatedBlocks were recovered clean
+	// blocks whose file's first post-restart server attribute observation
+	// confirmed them unchanged; RefetchedBlocks were dropped by the normal
+	// mtime reconciliation instead.
+	RecoveredBlocks   int64
+	RecoveredDirty    int64
+	RecoveryDropped   int64
+	RevalidatedBlocks int64
+	RefetchedBlocks   int64
 }
 
 // fetchKey identifies one block of one file for prefetch coordination.
@@ -225,6 +247,9 @@ func NewProxyClient(clk *vclock.Clock, cfg Config, upstream *sunrpc.Client, cred
 	p.met = newClientMetrics(o.Registry(), name)
 	cfg.Staleness.Register(shortModel(cfg.Model))
 	p.cache.setMetaPolicy(clk.Now, cfg.metaPolicy(), p.met.metaCounters())
+	if cfg.DiskCacheDir != "" {
+		p.openDiskCache()
+	}
 	// Upstream call spans (the wide-area round trips) are recorded at this
 	// proxy's node, nested under the kernel request via the shared ID.
 	upstream.SetObs(p.node, RPCName)
@@ -325,6 +350,15 @@ func (p *ProxyClient) AdoptCache(c *SessionCacheState) {
 		// The previous owner's in-flight WRITEs and prefetch READs died with
 		// its process; stale marks would wedge flushing forever.
 		p.cache.clearInFlight()
+		// The adopted in-memory cache supersedes whatever openDiskCache
+		// recovered into the cache it replaced: resync the disk mirror to
+		// the adopted contents and attach it. The adopted cache's old
+		// persister (the crashed incarnation's store, abandoned on Crash)
+		// is displaced here.
+		if p.disk != nil {
+			p.disk.ResetTo(p.cache.persistSnapshot())
+			p.attachPersister()
+		}
 	}
 }
 
@@ -384,6 +418,13 @@ func (p *ProxyClient) Stop() {
 	p.stopped = true
 	p.mu.Unlock()
 	p.flushAll(0)
+	if p.disk != nil {
+		// The flushed MarkClean records are already journaled; Close folds
+		// them into a final compacting checkpoint.
+		if err := p.disk.Close(); err != nil {
+			p.met.diskCacheErrors.Inc()
+		}
+	}
 	p.srv.Close()
 	p.cbSrv.Close()
 	p.upstream().Close()
@@ -396,6 +437,13 @@ func (p *ProxyClient) Crash() {
 	p.mu.Lock()
 	p.stopped = true
 	p.mu.Unlock()
+	if p.disk != nil {
+		// SIGKILL-equivalent: no checkpoint, no final syncs. Whatever the
+		// journal already holds is what recovery will see — and the store
+		// goes inert so straggling actors of this incarnation cannot write
+		// into a journal a restarted proxy may have reopened.
+		p.disk.Abandon()
+	}
 	p.srv.Close()
 	p.cbSrv.Close()
 	p.upstream().Close()
@@ -421,6 +469,12 @@ func (p *ProxyClient) Stats() ProxyClientStats {
 		ListingHits:        p.met.listingHits.Value(),
 		MetaExpiries:       p.met.metaExpiries.Value(),
 		MetaEvictions:      p.met.metaEvictions.Value(),
+		PollCapped:         p.met.pollCapped.Value(),
+		RecoveredBlocks:    p.met.recoveredBlocks.Value(),
+		RecoveredDirty:     p.met.recoveredDirty.Value(),
+		RecoveryDropped:    p.met.recoveryDropped.Value(),
+		RevalidatedBlocks:  p.met.revalidatedBlks.Value(),
+		RefetchedBlocks:    p.met.refetchedBlks.Value(),
 	}
 }
 
@@ -534,11 +588,21 @@ func (p *ProxyClient) maxPollRounds() int {
 	return rounds
 }
 
+// pollCover tracks one GETINV round's freshness-horizon debt: the round
+// sent at sentAt is fully covered once need more handles have been
+// delivered (the server's Remaining count at reply time, paid down by every
+// subsequent round's deliveries).
+type pollCover struct {
+	sentAt time.Duration
+	need   int64
+}
+
 // pollOnce issues GETINV calls until the buffer is drained, applying the
 // client-side algorithm of Section 4.2.1. All GETINVs of one poll round
 // share a request ID minted at this proxy.
 func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 	rid := p.node.Mint()
+	var covers []pollCover
 	for rounds := 0; ; rounds++ {
 		if rounds >= p.maxPollRounds() {
 			// Give up on this poll; the next window starts a fresh drain.
@@ -592,20 +656,61 @@ func (p *ProxyClient) pollOnce() (gotAny bool, err error) {
 				p.met.invalidations.Add(int64(len(res.Handles)))
 			}
 		}
-		// 4) Poll again immediately if the buffer did not fit.
-		if !res.PollAgain {
-			// The buffer drained completely: every remote commit at or
-			// before this round's send is now reflected in the cache, so the
-			// freshness horizon advances. Capped polls (the early return
-			// above) and failed calls leave it where it was.
+		// Freshness-horizon accounting. A round sent at sentAt is covered
+		// once every invalidation queued before it has been applied here —
+		// at most res.Remaining further handles (entries queued after
+		// sentAt inflate that count; they never deflate it, so the
+		// accounting only errs conservative). Later rounds' deliveries pay
+		// down earlier rounds' debts, so even a poll that ultimately hits
+		// the round cap advances the horizon for the rounds it fully
+		// covered — the horizon no longer freezes under sustained churn.
+		delivered := int64(len(res.Handles))
+		for i := range covers {
+			covers[i].need -= delivered
+		}
+		need := int64(res.Remaining)
+		if res.ForceInvalidate || !res.PollAgain {
+			// A force reply just dropped everything the cache could have
+			// served stale; a complete drain has nothing left queued.
+			// Either way this round and every earlier one are covered.
+			need = 0
+			for i := range covers {
+				covers[i].need = 0
+			}
+		}
+		covers = append(covers, pollCover{sentAt: sentAt, need: need})
+		var adv time.Duration
+		kept := covers[:0]
+		for _, c := range covers {
+			if c.need <= 0 {
+				if c.sentAt > adv {
+					adv = c.sentAt
+				}
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		covers = kept
+		if adv > 0 {
 			p.mu.Lock()
-			if sentAt > p.pollHorizon {
-				p.pollHorizon = sentAt
+			if adv > p.pollHorizon {
+				p.pollHorizon = adv
 			}
 			p.mu.Unlock()
+		}
+		// 4) Poll again immediately if the buffer did not fit.
+		if !res.PollAgain {
 			return gotAny, nil
 		}
 	}
+}
+
+// PollHorizon reports the polling model's current freshness horizon, for
+// tests pinning the cover accounting.
+func (p *ProxyClient) PollHorizon() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pollHorizon
 }
 
 // flushLoop periodically writes back dirty blocks.

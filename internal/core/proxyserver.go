@@ -549,14 +549,13 @@ func newInvBuffer(max int) *invBuffer {
 // (losing the oldest entry).
 func (b *invBuffer) add(key string) (wrapped bool) {
 	if b.member[key] {
-		// Coalesce: move to the back (most recent).
-		for i, k := range b.order {
-			if k == key {
-				b.order = append(b.order[:i], b.order[i+1:]...)
-				break
-			}
-		}
-		b.order = append(b.order, key)
+		// Coalesce in place: the entry keeps its original queue position.
+		// Moving it to the back would break the client's count-based
+		// freshness-horizon accounting (GetInvRes.Remaining): an entry
+		// re-touched after a GETINV round would slip behind newer entries,
+		// so delivering "Remaining" more handles would no longer guarantee
+		// that every pre-round invalidation has been applied. The original
+		// position still invalidates every commit up to its delivery time.
 		return false
 	}
 	if len(b.order) >= b.max {
@@ -634,6 +633,7 @@ func (s *ProxyServer) dispatchInv(call *sunrpc.Call) sunrpc.AcceptStat {
 			delete(b.member, key)
 		}
 		b.order = b.order[n:]
+		res.Remaining = uint32(len(b.order))
 	}
 	b.lastSentTS = s.invTS
 	res.Timestamp = s.invTS

@@ -453,13 +453,19 @@ func (c *conn) Send(msg []byte) error {
 	copy(buf, msg)
 	peer := c.peer
 	n.clk.AfterFunc(arrival-now, func() {
-		peer.inbox.Put(buf)
+		if !peer.inbox.Put(buf) {
+			// The receiver closed while the frame was in flight; ownership
+			// never transferred, so the sender's copy recycles here.
+			bufpool.Put(buf)
+		}
 	})
 	if dupArrival > 0 {
 		dup := bufpool.Get(len(buf))
 		copy(dup, buf)
 		n.clk.AfterFunc(dupArrival-now, func() {
-			peer.inbox.Put(dup)
+			if !peer.inbox.Put(dup) {
+				bufpool.Put(dup)
+			}
 		})
 	}
 	return nil

@@ -432,7 +432,10 @@ func (c *Client) demux() {
 		}
 		m, err := parseMsg(raw)
 		if err != nil || m.mtype != msgReply {
-			continue // garbage or stray call on a client connection
+			// Garbage or a stray call on a client connection: the frame was
+			// never handed to a caller, so ownership stays here — recycle.
+			bufpool.Put(raw)
+			continue
 		}
 		c.mu.Lock()
 		pc, ok := c.pending[m.xid]
@@ -444,6 +447,8 @@ func (c *Client) demux() {
 			pc.shed++
 			c.mu.Unlock()
 			c.metShedRetries.Inc()
+			// The shed reply carried no body anyone retained; recycle it.
+			bufpool.Put(raw)
 			continue
 		}
 		var w *vclock.Waiter
@@ -457,6 +462,12 @@ func (c *Client) demux() {
 		c.mu.Unlock()
 		if w != nil {
 			w.Wake()
+		} else if !ok {
+			// A duplicate (retransmitted XID already completed) or very late
+			// reply: no pending call will ever read this frame — recycle.
+			// Completed replies (ok) are exempt: pc.body aliases raw and the
+			// caller's decoder may hold references into it.
+			bufpool.Put(raw)
 		}
 	}
 }

@@ -265,8 +265,9 @@ type parsedMsg struct {
 	body *xdr.Decoder
 	// raw is the received frame body aliases. Servers recycle it to the
 	// buffer pool once the request reaches its terminal state (handled,
-	// shed, or discarded); clients leave it nil — their reply bodies escape
-	// to callers, so client frames are never recycled.
+	// shed, or discarded); clients leave it nil — a completed reply's body
+	// escapes to the caller, so the demux recycles only frames no caller
+	// will ever see (garbage, shed retries, duplicate replies).
 	raw []byte
 }
 
